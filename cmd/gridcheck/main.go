@@ -1,0 +1,77 @@
+// Command gridcheck verifies the paper's Fig. 1 grid by execution: for
+// every line z (1..t+1) and every class on it, it runs z-set agreement
+// in AS[n,t] through the constructions the paper prescribes and checks
+// validity, z-agreement and termination.
+//
+// Usage:
+//
+//	gridcheck [-n 5] [-t 2] [-seed 7] [-gst 700] [-crashes "4:900"]
+//
+// Exit status 1 if any cell of the grid fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fdgrid/internal/cliutil"
+	"fdgrid/internal/core"
+	"fdgrid/internal/sim"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 5, "number of processes")
+		t       = flag.Int("t", 2, "resilience bound (t < n/2)")
+		seed    = flag.Int64("seed", 7, "scheduler seed")
+		gst     = flag.Int64("gst", 700, "global stabilization time (ticks)")
+		crashes = flag.String("crashes", "4:900", "crash schedule p:t,p:t")
+		maxStep = flag.Int64("maxsteps", 2_000_000, "virtual-time budget")
+	)
+	flag.Parse()
+
+	crash, err := cliutil.ParseCrashes(*crashes, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	tab := &cliutil.Table{Headers: []string{
+		"line z", "class", "k(paper)", "decided", "distinct", "max round", "vticks", "result",
+	}}
+	failures := 0
+	for z := 1; z <= *t+1; z++ {
+		for _, c := range core.GridLine(z, *t) {
+			cfg := sim.Config{
+				N: *n, T: *t, Seed: *seed, MaxSteps: sim.Time(*maxStep),
+				GST: sim.Time(*gst), Crashes: crash, Bandwidth: *n,
+			}
+			sys := sim.MustNew(cfg)
+			out, err := core.SpawnKSetWith(sys, c, nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			rep := sys.Run(out.AllDecided(sys.Pattern().Correct()))
+			verdict := "ok"
+			if !rep.StoppedEarly {
+				verdict = "TIMEOUT"
+				failures++
+			} else if err := out.Check(sys.Pattern(), z); err != nil {
+				verdict = err.Error()
+				failures++
+			}
+			tab.Add(z, c.String(), core.KSetPower(c, *t),
+				len(out.Decisions()), len(out.DistinctValues()), out.MaxRound(),
+				rep.Steps, verdict)
+		}
+	}
+	fmt.Printf("grid check: n=%d t=%d seed=%d gst=%d crashes=%q\n\n", *n, *t, *seed, *gst, *crashes)
+	fmt.Print(tab.String())
+	if failures > 0 {
+		fmt.Printf("\n%d grid cells FAILED\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nall grid cells verified")
+}

@@ -1,0 +1,63 @@
+// Irreducibility: the crash-vs-delay adversary of the paper's Theorem 9.
+//
+// A naive engineer claims to build a ◇φ_y crash-region detector out of
+// an S_x suspector: "a region has crashed iff I suspect all of it". The
+// adversary defeats any such transformation:
+//
+//   - run R: the region E really crashes, the suspector (legally)
+//     suspects exactly E, and the reducer answers true — as liveness
+//     demands;
+//   - run R′: E is alive, merely silent (messages delayed), and the
+//     suspector emits *the same outputs* — still legal, because S_x's
+//     accuracy only protects one process in one scope. The reducer
+//     answers true about correct processes: eventual safety is violated
+//     after any claimed stabilization time τ.
+package main
+
+import (
+	"fmt"
+
+	"fdgrid/internal/adversary"
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+func main() {
+	const (
+		n, t = 5, 2
+		x, y = 3, 1
+	)
+	e := ids.NewSet(4, 5) // the region: t−y < |E| ≤ t
+
+	fmt.Printf("Theorem 9 demo: trying to build ◇φ_%d from S_%d (n=%d, t=%d, E=%s)\n\n", y, x, n, t, e)
+
+	for _, tau := range []sim.Time{500, 2_000, 8_000} {
+		rp := adversary.RunPair{N: n, T: t, E: e, CrashAt: 100, Horizon: tau + 1_000, Seed: 42}
+
+		probe := func(label string, cfg sim.Config, correctE bool) sim.Time {
+			sys := sim.MustNew(cfg)
+			susp := rp.SuspectorForR(sys, x, 1)
+			reducer := adversary.NewPhiFromS(susp, t, y)
+			var at sim.Time = -1
+			sys.OnTick(func(now sim.Time) {
+				if at < 0 && now > tau && reducer.Query(1, e) {
+					at = now
+				}
+			})
+			sys.Run(func() bool { return at >= 0 })
+			status := "liveness satisfied"
+			if correctE {
+				status = "EVENTUAL SAFETY VIOLATED (E is correct!)"
+			}
+			fmt.Printf("  τ=%-5d %-28s query(E)=true at vtick %-6d %s\n", tau, label, at, status)
+			return at
+		}
+
+		probe("run R  (E crashes @100):", rp.ConfigR(tau+2_000), false)
+		probe("run R′ (E alive, delayed):", rp.ConfigRPrime(tau+2_000), true)
+		fmt.Println()
+	}
+
+	fmt.Println("whatever stabilization time the reducer claims, the adversary delays past it:")
+	fmt.Println("no S_x-to-◇φ_y transformation exists (paper Theorem 9).")
+}

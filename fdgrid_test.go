@@ -1,0 +1,96 @@
+package fdgrid_test
+
+import (
+	"fmt"
+	"testing"
+
+	"fdgrid"
+)
+
+// TestFacadeQuickstart exercises the public API end to end, as the
+// README shows it.
+func TestFacadeQuickstart(t *testing.T) {
+	cfg := fdgrid.Config{
+		N: 5, T: 2, Seed: 1, MaxSteps: 1_000_000, GST: 500,
+		Crashes:   map[fdgrid.ProcID]fdgrid.Time{4: 700},
+		Bandwidth: 5,
+	}
+	sys := fdgrid.MustNewSystem(cfg)
+	oracle := fdgrid.NewOmega(sys, 2)
+	out := fdgrid.NewOutcome()
+	for p := 1; p <= cfg.N; p++ {
+		sys.Spawn(fdgrid.ProcID(p), fdgrid.KSetMain(oracle, fdgrid.Value(100+p), out))
+	}
+	rep := sys.Run(out.AllDecided(sys.Pattern().Correct()))
+	if !rep.StoppedEarly {
+		t.Fatal("timed out")
+	}
+	if err := out.Check(sys.Pattern(), 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeAddOmega exercises the one-call additivity experiment.
+func TestFacadeAddOmega(t *testing.T) {
+	cfg := fdgrid.Config{
+		N: 5, T: 2, Seed: 5, MaxSteps: 200_000, GST: 500, Bandwidth: 5,
+	}
+	trace, sys, rep, err := fdgrid.AddOmega(cfg, 2, 1, 15_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.StoppedEarly {
+		t.Fatal("did not stabilize within budget")
+	}
+	if err := trace.CheckOmega(sys.Pattern(), 1, 10_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeAddOmegaBadConfig propagates config errors.
+func TestFacadeAddOmegaBadConfig(t *testing.T) {
+	if _, _, _, err := fdgrid.AddOmega(fdgrid.Config{N: 0}, 1, 0, 0); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestFacadeGrid exercises the grid API.
+func TestFacadeGrid(t *testing.T) {
+	c := fdgrid.Class{Fam: fdgrid.FamEvtS, Param: 3}
+	if got := fdgrid.KSetPower(c, 3); got != 2 {
+		t.Errorf("KSetPower = %d", got)
+	}
+	line := fdgrid.GridLine(2, 3)
+	if len(line) != 6 {
+		t.Errorf("GridLine has %d classes", len(line))
+	}
+	v := fdgrid.CanTransform(
+		[]fdgrid.Class{{Fam: fdgrid.FamEvtS, Param: 3}, {Fam: fdgrid.FamEvtPhi, Param: 1}},
+		fdgrid.Class{Fam: fdgrid.FamOmega, Param: 1}, 3)
+	if !v.OK {
+		t.Errorf("motivating addition rejected: %s", v.Reason)
+	}
+}
+
+// ExampleCanTransform shows the paper's motivating addition as a
+// reducibility query.
+func ExampleCanTransform() {
+	const t = 3
+	v := fdgrid.CanTransform(
+		[]fdgrid.Class{{Fam: fdgrid.FamEvtS, Param: t}, {Fam: fdgrid.FamEvtPhi, Param: 1}},
+		fdgrid.Class{Fam: fdgrid.FamOmega, Param: 1}, t)
+	fmt.Println(v.OK)
+	// Output: true
+}
+
+// ExampleKSetPower shows grid-line lookups.
+func ExampleKSetPower() {
+	const t = 3
+	fmt.Println(fdgrid.KSetPower(fdgrid.Class{Fam: fdgrid.FamOmega, Param: 2}, t))
+	fmt.Println(fdgrid.KSetPower(fdgrid.Class{Fam: fdgrid.FamEvtS, Param: t + 1}, t))
+	fmt.Println(fdgrid.KSetPower(fdgrid.Class{Fam: fdgrid.FamPhi, Param: 0}, t))
+	// Output:
+	// 2
+	// 1
+	// 4
+}

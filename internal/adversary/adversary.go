@@ -1,0 +1,177 @@
+// Package adversary makes the paper's impossibility arguments
+// (Theorems 9–12, Observation O1, the Theorem 5 and Theorem 8 bounds)
+// executable.
+//
+// An impossibility cannot be "run", but its witness construction can:
+// the package provides the straw-man reducers a believer in the converse
+// would write, and the exact adversarial ingredients the proofs use —
+// crash-vs-delay run pairs with identical failure detector outputs, and
+// information-theoretic observations about the φ_y family — so tests and
+// benchmarks can exhibit each violation concretely.
+package adversary
+
+import (
+	"fdgrid/internal/fd"
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// PhiFromS is the straw-man transformation S_x → φ_y that Theorem 9
+// refutes: answer query(X) by "X has crashed iff I currently suspect all
+// of X" (plus φ's trivial answers). Completeness makes it live, but no
+// suspector distinguishes "crashed" from "arbitrarily slow": the
+// crash-vs-delay run pair makes it answer true about a live region after
+// any claimed stabilization time.
+type PhiFromS struct {
+	susp fd.Suspector
+	t, y int
+}
+
+var _ fd.Querier = (*PhiFromS)(nil)
+
+// NewPhiFromS builds the straw-man for a system with resilience t.
+func NewPhiFromS(susp fd.Suspector, t, y int) *PhiFromS {
+	return &PhiFromS{susp: susp, t: t, y: y}
+}
+
+// Query implements fd.Querier.
+func (f *PhiFromS) Query(p ids.ProcID, x ids.Set) bool {
+	if x.Size() <= f.t-f.y {
+		return true
+	}
+	if x.Size() > f.t {
+		return false
+	}
+	return x.SubsetOf(f.susp.Suspected(p))
+}
+
+// SFromPhi is the straw-man transformation φ_y → ◇S_x (x > 1) that
+// Theorem 10 refutes: suspect every process whose "zone" (itself plus the
+// t−y lowest other identities) queries as crashed, never suspecting
+// otherwise. Observation O1 dooms it: with f ≤ t−y actual crashes, every
+// informative query answers false, so the output carries no accuracy or
+// completeness information at all.
+type SFromPhi struct {
+	q    fd.Querier
+	n, t int
+	y    int
+}
+
+var _ fd.Suspector = (*SFromPhi)(nil)
+
+// NewSFromPhi builds the straw-man.
+func NewSFromPhi(q fd.Querier, n, t, y int) *SFromPhi {
+	return &SFromPhi{q: q, n: n, t: t, y: y}
+}
+
+// Suspected implements fd.Suspector.
+func (f *SFromPhi) Suspected(p ids.ProcID) ids.Set {
+	var out ids.Set
+	for j := 1; j <= f.n; j++ {
+		id := ids.ProcID(j)
+		if id == p {
+			continue
+		}
+		zone := ids.NewSet(id)
+		for o := 1; o <= f.n && zone.Size() < f.t-f.y+1; o++ {
+			if oid := ids.ProcID(o); oid != id && oid != p {
+				zone = zone.Add(oid)
+			}
+		}
+		if f.q.Query(p, zone) {
+			out = out.Add(id)
+		}
+	}
+	return out
+}
+
+// RunPair is the Theorem 9 adversary construction: two configurations
+// indistinguishable to any algorithm up to the horizon.
+//
+//   - RunR: the region E crashes at CrashAt.
+//   - RunRPrime: E stays alive, but every message E sends is held back
+//     until after Horizon, and (by oracle construction) the failure
+//     detector output at the surviving processes is the same as in RunR.
+//
+// Any query-style transformation that answers true about E in RunR after
+// its claimed stabilization time answers true at the same point of
+// RunRPrime — violating (eventual) safety there, since E is correct.
+type RunPair struct {
+	N, T    int
+	E       ids.Set  // the region: t−y < |E| ≤ t, E ∌ the protected leader
+	CrashAt sim.Time // when E crashes in run R
+	Horizon sim.Time // how long run R′ delays E's messages
+	Seed    int64
+}
+
+// ConfigR returns the configuration of run R (E crashes).
+func (rp RunPair) ConfigR(maxSteps sim.Time) sim.Config {
+	crashes := make(map[ids.ProcID]sim.Time, rp.E.Size())
+	rp.E.ForEach(func(p ids.ProcID) bool {
+		crashes[p] = rp.CrashAt
+		return true
+	})
+	return sim.Config{
+		N: rp.N, T: rp.T, Seed: rp.Seed, MaxSteps: maxSteps,
+		GST: 0, Crashes: crashes,
+	}
+}
+
+// ConfigRPrime returns the configuration of run R′ (E alive but silent
+// until Horizon).
+func (rp RunPair) ConfigRPrime(maxSteps sim.Time) sim.Config {
+	return sim.Config{
+		N: rp.N, T: rp.T, Seed: rp.Seed, MaxSteps: maxSteps,
+		GST: 0,
+		Holds: []sim.Hold{{
+			From:  rp.E,
+			To:    ids.FullSet(rp.N),
+			Until: rp.Horizon,
+		}},
+	}
+}
+
+// SuspectorForR returns an S_x oracle for run R whose outputs on the
+// surviving processes are reproduced exactly by SuspectorForRPrime on
+// run R′ — the "same failure detector output" ingredient of the proof.
+// It protects a correct leader outside E (legal in both runs) and, after
+// CrashAt, suspects exactly E at every surviving process.
+func (rp RunPair) SuspectorForR(sys *sim.System, x int, leader ids.ProcID) fd.Suspector {
+	return &scriptedSuspector{
+		sys: sys, e: rp.E, at: rp.CrashAt, leader: leader, x: x,
+	}
+}
+
+// SuspectorForRPrime is SuspectorForR's twin for run R′: it emits the
+// *same* outputs (suspecting the live region E after CrashAt), which the
+// class S_x permits, since E need not be in any accuracy scope.
+func (rp RunPair) SuspectorForRPrime(sys *sim.System, x int, leader ids.ProcID) fd.Suspector {
+	return &scriptedSuspector{
+		sys: sys, e: rp.E, at: rp.CrashAt, leader: leader, x: x,
+	}
+}
+
+// scriptedSuspector suspects exactly E from time `at` on, at every
+// process outside E; processes inside E suspect nobody. Completeness
+// holds in run R (E is exactly the crashed set); limited-scope perpetual
+// accuracy holds in both runs with scope Q = Π ∖ E around the protected
+// leader, provided x ≤ n − |E|.
+type scriptedSuspector struct {
+	sys    *sim.System
+	e      ids.Set
+	at     sim.Time
+	leader ids.ProcID
+	x      int
+}
+
+var _ fd.Suspector = (*scriptedSuspector)(nil)
+
+func (s *scriptedSuspector) Suspected(p ids.ProcID) ids.Set {
+	if s.e.Contains(p) {
+		return ids.EmptySet()
+	}
+	if s.sys.Now() < s.at {
+		return ids.EmptySet()
+	}
+	return s.e
+}

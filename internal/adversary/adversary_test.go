@@ -1,0 +1,225 @@
+package adversary
+
+import (
+	"testing"
+
+	"fdgrid/internal/fd"
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// TestObservationO1: with f ≤ t−y actual crashes, a φ_y's answers depend
+// only on |X|, not on which processes form X — the information-theoretic
+// core of Theorems 8 and 10. We iterate every subset of the informative
+// region across two patterns with different crash sets of equal size.
+func TestObservationO1(t *testing.T) {
+	const (
+		n  = 6
+		tt = 3
+		y  = 1 // informative region: 2 < |X| ≤ 3
+	)
+	cfgA := sim.Config{N: n, T: tt, Seed: 1, MaxSteps: 2_000, GST: 0,
+		Crashes: map[ids.ProcID]sim.Time{1: 100, 2: 150}} // f = 2 = t−y
+	cfgB := sim.Config{N: n, T: tt, Seed: 1, MaxSteps: 2_000, GST: 0,
+		Crashes: map[ids.ProcID]sim.Time{5: 100, 6: 150}}
+
+	answers := func(cfg sim.Config) map[int]bool {
+		sys := sim.MustNew(cfg)
+		phi := fd.NewPhi(sys, y)
+		res := make(map[int]bool)
+		sys.OnTick(func(now sim.Time) {
+			if now != 1_000 {
+				return
+			}
+			// Every 3-subset must answer identically (false: with only
+			// t−y crashes no informative region is fully dead).
+			r := ids.NewRing(ids.FullSet(n), 3)
+			for i := uint64(0); i < r.Len(); i++ {
+				got := phi.Query(3, r.Current())
+				if prev, ok := res[3]; ok && prev != got {
+					t.Errorf("cfg crash=%v: 3-subsets answer inconsistently", cfg.Crashes)
+				}
+				res[3] = got
+				r.Next()
+			}
+		})
+		sys.Run(nil)
+		return res
+	}
+
+	ansA, ansB := answers(cfgA), answers(cfgB)
+	if ansA[3] != ansB[3] {
+		t.Errorf("answers differ across same-size crash patterns: %v vs %v", ansA, ansB)
+	}
+	if ansA[3] {
+		t.Error("informative query answered true with f = t−y crashes")
+	}
+}
+
+// TestTheorem9CrashVsDelay: the straw-man S_x → φ_y reducer must violate
+// ◇φ_y's eventual safety. For each candidate stabilization time τ we
+// build run R′ (E alive, delayed past τ) with the same oracle outputs as
+// run R (E crashed): the reducer answers true about the live E after τ.
+func TestTheorem9CrashVsDelay(t *testing.T) {
+	const (
+		n  = 5
+		tt = 2
+		y  = 1
+		x  = 3 // x ≤ n−|E|: accuracy scope fits outside E
+	)
+	e := ids.NewSet(4, 5) // |E| = t−y+1 = 2: informative size
+	for _, tau := range []sim.Time{500, 2_000, 5_000} {
+		rp := RunPair{N: n, T: tt, E: e, CrashAt: 100, Horizon: tau + 1_000, Seed: 9}
+
+		// Run R: E crashes; the reducer's liveness makes query(E) true.
+		sysR := sim.MustNew(rp.ConfigR(tau + 2_000))
+		suspR := rp.SuspectorForR(sysR, x, 1)
+		reducerR := NewPhiFromS(suspR, tt, y)
+		var trueAtR sim.Time = -1
+		sysR.OnTick(func(now sim.Time) {
+			if trueAtR < 0 && now > tau && reducerR.Query(1, e) {
+				trueAtR = now
+			}
+		})
+		sysR.Run(func() bool { return trueAtR >= 0 })
+		if trueAtR < 0 {
+			t.Fatalf("τ=%d: reducer never answered true in run R (liveness broken)", tau)
+		}
+
+		// Run R′: E is alive (correct), yet the oracle output — legal
+		// for S_x — is identical, so the reducer answers true at the
+		// same point: eventual safety violated after τ.
+		sysP := sim.MustNew(rp.ConfigRPrime(tau + 2_000))
+		suspP := rp.SuspectorForRPrime(sysP, x, 1)
+		reducerP := NewPhiFromS(suspP, tt, y)
+		var violatedAt sim.Time = -1
+		sysP.OnTick(func(now sim.Time) {
+			if violatedAt < 0 && now > tau && reducerP.Query(1, e) {
+				violatedAt = now
+			}
+		})
+		sysP.Run(func() bool { return violatedAt >= 0 })
+		if violatedAt < 0 {
+			t.Fatalf("τ=%d: no safety violation observed in run R′", tau)
+		}
+		if got := sysP.Pattern().Correct(); !e.SubsetOf(got) {
+			t.Fatalf("τ=%d: E is not correct in run R′", tau)
+		}
+		if violatedAt <= tau {
+			t.Fatalf("τ=%d: violation at %d not past the claimed stabilization", tau, violatedAt)
+		}
+	}
+}
+
+// TestScriptedSuspectorLegality: the scripted oracle used by the run pair
+// really is of class S_x in both runs (checked by the class checker), so
+// the contradiction cannot be blamed on an illegal oracle.
+func TestScriptedSuspectorLegality(t *testing.T) {
+	const (
+		n  = 5
+		tt = 2
+		x  = 3
+	)
+	e := ids.NewSet(4, 5)
+	rp := RunPair{N: n, T: tt, E: e, CrashAt: 100, Horizon: 3_000, Seed: 5}
+
+	// Run R: E really crashes.
+	sysR := sim.MustNew(rp.ConfigR(6_000))
+	suspR := rp.SuspectorForR(sysR, x, 1)
+	trR := fd.WatchSuspector(sysR, suspR)
+	sysR.Run(nil)
+	if err := trR.CheckSuspector(sysR.Pattern(), x, true, 1_000); err != nil {
+		t.Errorf("run R oracle not S_%d: %v", x, err)
+	}
+
+	// Run R′: E correct; accuracy still holds (scope outside E), and
+	// completeness is vacuous (nobody crashes).
+	sysP := sim.MustNew(rp.ConfigRPrime(6_000))
+	suspP := rp.SuspectorForRPrime(sysP, x, 1)
+	trP := fd.WatchSuspector(sysP, suspP)
+	sysP.Run(nil)
+	if err := trP.CheckSuspector(sysP.Pattern(), x, true, 1_000); err != nil {
+		t.Errorf("run R′ oracle not S_%d: %v", x, err)
+	}
+}
+
+// TestTheorem10StrawMan: the φ_y → ◇S_x straw-man carries no accuracy
+// information when f ≤ t−y: its output is identical across crash
+// patterns, so in at least one pattern completeness or accuracy fails.
+func TestTheorem10StrawMan(t *testing.T) {
+	const (
+		n  = 6
+		tt = 3
+		y  = 1
+		x  = 2
+	)
+	outputs := func(crashes map[ids.ProcID]sim.Time) map[ids.ProcID]ids.Set {
+		cfg := sim.Config{N: n, T: tt, Seed: 3, MaxSteps: 3_000, GST: 0, Crashes: crashes}
+		sys := sim.MustNew(cfg)
+		reducer := NewSFromPhi(fd.NewPhi(sys, y), n, tt, y)
+		res := make(map[ids.ProcID]ids.Set)
+		sys.OnTick(func(now sim.Time) {
+			if now != 2_500 {
+				return
+			}
+			for p := 1; p <= n; p++ {
+				id := ids.ProcID(p)
+				if !sys.Pattern().Crashed(id, now) {
+					res[id] = reducer.Suspected(id)
+				}
+			}
+		})
+		sys.Run(nil)
+		return res
+	}
+
+	a := outputs(map[ids.ProcID]sim.Time{1: 200, 2: 300}) // f = 2 = t−y
+	b := outputs(map[ids.ProcID]sim.Time{3: 200, 4: 300})
+	// Identical outputs at the common survivors — yet pattern A requires
+	// {1,2} ⊆ suspected and pattern B requires {3,4} ⊆ suspected:
+	// both cannot hold for the same (empty-ish) output.
+	for p := 5; p <= n; p++ {
+		id := ids.ProcID(p)
+		if !a[id].Equal(b[id]) {
+			t.Errorf("outputs of %v differ across indistinguishable patterns: %s vs %s", id, a[id], b[id])
+		}
+		if a[id].Contains(1) && a[id].Contains(3) {
+			continue // would suspect everyone: then accuracy dies instead
+		}
+		if a[id].Contains(1) != b[id].Contains(3) {
+			t.Errorf("asymmetric suspicion at %v", id)
+		}
+	}
+	// Completeness fails in at least one pattern.
+	completeA := a[5].Contains(1) && a[5].Contains(2)
+	completeB := b[5].Contains(3) && b[5].Contains(4)
+	if completeA && completeB {
+		// Outputs are equal, so completeness in both means the reducer
+		// suspects {1,2,3,4} unconditionally — check accuracy collapse.
+		if a[5].Size() < 4 {
+			t.Error("impossible: equal outputs complete in both patterns but small")
+		}
+	}
+	if !completeA || !completeB {
+		// Expected: strong completeness is violated in some pattern —
+		// the theorem's conclusion, exhibited.
+		return
+	}
+}
+
+// TestRunPairConfigs: basic sanity of the generated configurations.
+func TestRunPairConfigs(t *testing.T) {
+	e := ids.NewSet(2, 3)
+	rp := RunPair{N: 5, T: 2, E: e, CrashAt: 50, Horizon: 1_000, Seed: 1}
+	cfgR := rp.ConfigR(2_000)
+	if len(cfgR.Crashes) != 2 || cfgR.Crashes[2] != 50 {
+		t.Errorf("ConfigR crashes = %v", cfgR.Crashes)
+	}
+	cfgP := rp.ConfigRPrime(2_000)
+	if len(cfgP.Crashes) != 0 {
+		t.Error("ConfigRPrime must not crash E")
+	}
+	if len(cfgP.Holds) != 1 || cfgP.Holds[0].Until != 1_000 {
+		t.Errorf("ConfigRPrime holds = %v", cfgP.Holds)
+	}
+}

@@ -1,0 +1,285 @@
+package agreement
+
+import (
+	"testing"
+
+	"fdgrid/internal/fd"
+	"fdgrid/internal/ids"
+	"fdgrid/internal/node"
+	"fdgrid/internal/rbcast"
+	"fdgrid/internal/sim"
+)
+
+// Local aliases keep test bodies compact.
+var (
+	rbcastNew = rbcast.New
+	nodeNew   = func(env *sim.Env, rb *rbcast.Layer) *node.Node { return node.New(env, rb) }
+)
+
+// runKSet wires n processes with a ground-truth Ω_z oracle and runs the
+// Fig. 3 algorithm until all correct processes decide (or MaxSteps).
+func runKSet(t *testing.T, cfg sim.Config, z int, opts ...fd.Option) (*Outcome, sim.Report) {
+	t.Helper()
+	sys := sim.MustNew(cfg)
+	oracle := fd.NewOmega(sys, z, opts...)
+	out := NewOutcome()
+	for p := 1; p <= cfg.N; p++ {
+		id := ids.ProcID(p)
+		sys.Spawn(id, KSetMain(oracle, Value(100+p), out))
+	}
+	rep := sys.Run(out.AllDecided(sys.Pattern().Correct()))
+	return out, rep
+}
+
+func TestKSetSolvesKSetAgreement(t *testing.T) {
+	cases := []struct {
+		name    string
+		n, tt   int
+		z, k    int
+		crashes map[ids.ProcID]sim.Time
+		gst     sim.Time
+	}{
+		{"consensus-no-crash", 5, 2, 1, 1, nil, 0},
+		{"consensus-crashes", 5, 2, 1, 1, map[ids.ProcID]sim.Time{2: 0, 4: 700}, 1500},
+		{"2set", 7, 3, 2, 2, map[ids.ProcID]sim.Time{1: 300}, 1000},
+		{"3set-heavy-crash", 7, 3, 3, 3, map[ids.ProcID]sim.Time{1: 0, 2: 200, 3: 900}, 1200},
+		{"z-less-than-k", 9, 4, 2, 4, map[ids.ProcID]sim.Time{5: 100}, 800},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				cfg := sim.Config{
+					N: tc.n, T: tc.tt, Seed: seed, MaxSteps: 400_000,
+					GST: tc.gst, Crashes: tc.crashes,
+				}
+				out, rep := runKSet(t, cfg, tc.z)
+				if !rep.StoppedEarly {
+					t.Fatalf("seed %d: run timed out; decisions: %v", seed, out.Decisions())
+				}
+				if err := out.Check(sys2pattern(cfg), tc.k); err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// sys2pattern rebuilds the pattern of a config (cheap helper: patterns
+// are pure functions of the config).
+func sys2pattern(cfg sim.Config) *sim.Pattern {
+	return sim.MustNew(cfg).Pattern()
+}
+
+// TestKSetOracleEfficiency: with a perfect oracle and no crashes, every
+// process decides in round 1 (two communication steps), §3.2.
+func TestKSetOracleEfficiency(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		cfg := sim.Config{N: 7, T: 3, Seed: seed, MaxSteps: 200_000, GST: 0}
+		out, rep := runKSet(t, cfg, 2, fd.WithStabilizeAt(0))
+		if !rep.StoppedEarly {
+			t.Fatalf("seed %d: timed out", seed)
+		}
+		for p, d := range out.Decisions() {
+			if d.Round != 1 {
+				t.Errorf("seed %d: %v decided in round %d, want 1", seed, p, d.Round)
+			}
+		}
+	}
+}
+
+// TestKSetZeroDegradation: perfect oracle, crashes only at time 0 —
+// still one round (§3.2). The perfect oracle's trusted set must exclude
+// the initially crashed processes for the detector to be "perfect".
+func TestKSetZeroDegradation(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		cfg := sim.Config{
+			N: 7, T: 3, Seed: seed, MaxSteps: 200_000, GST: 0,
+			Crashes: map[ids.ProcID]sim.Time{1: 0, 4: 0},
+		}
+		out, rep := runKSet(t, cfg, 2, fd.WithStabilizeAt(0), fd.WithTrusted(ids.NewSet(2, 5)))
+		if !rep.StoppedEarly {
+			t.Fatalf("seed %d: timed out", seed)
+		}
+		for p, d := range out.Decisions() {
+			if d.Round != 1 {
+				t.Errorf("seed %d: %v decided in round %d, want 1", seed, p, d.Round)
+			}
+		}
+	}
+}
+
+// TestKSetWithLateCrashesAndAnarchy is the stress case: late GST, late
+// crashes, hostile oracle.
+func TestKSetStress(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		cfg := sim.Config{
+			N: 9, T: 4, Seed: seed, MaxSteps: 1_000_000, GST: 3_000,
+			Crashes: map[ids.ProcID]sim.Time{2: 1500, 7: 2500, 9: 50, 3: 0},
+		}
+		out, rep := runKSet(t, cfg, 3)
+		if !rep.StoppedEarly {
+			t.Fatalf("seed %d: timed out", seed)
+		}
+		if err := out.Check(sys2pattern(cfg), 3); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestKSetRequiresMajority(t *testing.T) {
+	sys := sim.MustNew(sim.Config{N: 4, T: 2, Seed: 1, MaxSteps: 1000})
+	oracle := fd.NewOmega(sys, 1)
+	out := NewOutcome()
+	caught := make(chan bool, 1)
+	sys.Spawn(1, func(env *sim.Env) {
+		defer func() {
+			caught <- recover() != nil
+		}()
+		KSetMain(oracle, 1, out)(env)
+	})
+	sys.Run(func() bool { return len(caught) > 0 })
+	if !<-caught {
+		t.Error("KSet with t ≥ n/2 did not panic")
+	}
+}
+
+func TestConsensusDS(t *testing.T) {
+	cases := []struct {
+		name    string
+		n, tt   int
+		crashes map[ids.ProcID]sim.Time
+		gst     sim.Time
+	}{
+		{"no-crash", 5, 2, nil, 0},
+		{"initial-crash", 5, 2, map[ids.ProcID]sim.Time{1: 0}, 500},
+		{"late-crashes", 7, 3, map[ids.ProcID]sim.Time{2: 400, 5: 900, 7: 0}, 2000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				cfg := sim.Config{
+					N: tc.n, T: tc.tt, Seed: seed, MaxSteps: 600_000,
+					GST: tc.gst, Crashes: tc.crashes,
+				}
+				sys := sim.MustNew(cfg)
+				// ◇S = ◇S_n: accuracy scope covers all processes.
+				susp := fd.NewEvtS(sys, tc.n)
+				out := NewOutcome()
+				for p := 1; p <= tc.n; p++ {
+					sys.Spawn(ids.ProcID(p), ConsensusDSMain(susp, Value(10*p), out))
+				}
+				rep := sys.Run(out.AllDecided(sys.Pattern().Correct()))
+				if !rep.StoppedEarly {
+					t.Fatalf("seed %d: timed out; decisions %v", seed, out.Decisions())
+				}
+				if err := out.Check(sys.Pattern(), 1); err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+func TestConsensusAliasMatchesKSet(t *testing.T) {
+	cfg := sim.Config{N: 5, T: 2, Seed: 3, MaxSteps: 300_000, GST: 200}
+	sys := sim.MustNew(cfg)
+	oracle := fd.NewOmega(sys, 1)
+	out := NewOutcome()
+	for p := 1; p <= cfg.N; p++ {
+		id := ids.ProcID(p)
+		sys.Spawn(id, func(env *sim.Env) {
+			rb := rbcastNew(env)
+			nd := nodeNew(env, rb)
+			Consensus(nd, rb, oracle, Value(int(id)), out)
+			nd.RunForever()
+		})
+	}
+	rep := sys.Run(out.AllDecided(sys.Pattern().Correct()))
+	if !rep.StoppedEarly {
+		t.Fatal("timed out")
+	}
+	if err := out.Check(sys.Pattern(), 1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutcomeBookkeeping(t *testing.T) {
+	o := NewOutcome()
+	o.Propose(1, 10)
+	o.Propose(2, 20)
+	o.Decide(1, Decision{Value: 10, Round: 2})
+	o.Decide(1, Decision{Value: 10, Round: 3}) // same value: fine
+	if got := len(o.Decisions()); got != 1 {
+		t.Errorf("Decisions() has %d entries", got)
+	}
+	if got := o.MaxRound(); got != 2 {
+		t.Errorf("MaxRound() = %d", got)
+	}
+	if got := o.DistinctValues(); len(got) != 1 || got[0] != 10 {
+		t.Errorf("DistinctValues() = %v", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double propose did not panic")
+			}
+		}()
+		o.Propose(1, 99)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("conflicting decide did not panic")
+			}
+		}()
+		o.Decide(1, Decision{Value: 11})
+	}()
+}
+
+func TestOutcomeCheckFailures(t *testing.T) {
+	pat := sys2pattern(sim.Config{N: 3, T: 1, MaxSteps: 10})
+	// Validity violation.
+	o := NewOutcome()
+	o.Propose(1, 1)
+	o.Propose(2, 2)
+	o.Propose(3, 3)
+	o.Decide(1, Decision{Value: 99})
+	if err := o.Check(pat, 1); err == nil {
+		t.Error("validity violation accepted")
+	}
+	// k-agreement violation.
+	o2 := NewOutcome()
+	for p := 1; p <= 3; p++ {
+		o2.Propose(ids.ProcID(p), Value(p))
+		o2.Decide(ids.ProcID(p), Decision{Value: Value(p)})
+	}
+	if err := o2.Check(pat, 2); err == nil {
+		t.Error("3 distinct decisions accepted at k=2")
+	}
+	if err := o2.Check(pat, 3); err != nil {
+		t.Errorf("3-set agreement rejected: %v", err)
+	}
+	// Termination violation.
+	o3 := NewOutcome()
+	o3.Propose(1, 1)
+	o3.Decide(1, Decision{Value: 1})
+	if err := o3.Check(pat, 1); err == nil {
+		t.Error("missing decisions accepted")
+	}
+}
+
+// TestKSetDecisionsAtMostZ: with a hostile Ω_z whose final set holds z
+// distinct correct processes and distinct proposals, decisions stay ≤ z
+// (the agreement bound is governed by z, not luck).
+func TestKSetDecisionsBound(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		cfg := sim.Config{N: 7, T: 3, Seed: seed, MaxSteps: 400_000, GST: 2_000}
+		out, rep := runKSet(t, cfg, 3)
+		if !rep.StoppedEarly {
+			t.Fatalf("seed %d: timed out", seed)
+		}
+		if got := len(out.DistinctValues()); got > 3 {
+			t.Errorf("seed %d: %d distinct values decided, z=3", seed, got)
+		}
+	}
+}

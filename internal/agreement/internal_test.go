@@ -1,0 +1,100 @@
+package agreement
+
+import (
+	"testing"
+
+	"fdgrid/internal/ids"
+)
+
+// TestPhase1Aux covers the phase-1 aux computation (paper Fig. 3
+// lines 07-08) in isolation.
+func TestPhase1Aux(t *testing.T) {
+	l12 := ids.NewSet(1, 2)
+	l34 := ids.NewSet(3, 4)
+	const n = 5
+
+	t.Run("no majority", func(t *testing.T) {
+		msgs := map[ids.ProcID]phase1Msg{
+			1: {R: 1, L: l12, Est: 10},
+			2: {R: 1, L: l34, Est: 20},
+		}
+		if _, bot := phase1Aux(msgs, n); !bot {
+			t.Error("aux without a majority leader set must be ⊥")
+		}
+	})
+
+	t.Run("majority without member estimate", func(t *testing.T) {
+		// Three senders announce {1,2} but none of them *is* 1 or 2.
+		msgs := map[ids.ProcID]phase1Msg{
+			3: {R: 1, L: l12, Est: 30},
+			4: {R: 1, L: l12, Est: 40},
+			5: {R: 1, L: l12, Est: 50},
+		}
+		if _, bot := phase1Aux(msgs, n); !bot {
+			t.Error("aux must be ⊥ when no member of the majority set was heard")
+		}
+	})
+
+	t.Run("majority with member estimates", func(t *testing.T) {
+		msgs := map[ids.ProcID]phase1Msg{
+			1: {R: 1, L: l12, Est: 10},
+			2: {R: 1, L: l12, Est: 20},
+			5: {R: 1, L: l12, Est: 50},
+		}
+		aux, bot := phase1Aux(msgs, n)
+		if bot {
+			t.Fatal("aux = ⊥ with members heard")
+		}
+		if aux != 10 {
+			t.Errorf("aux = %d, want the smallest-id member's estimate 10", aux)
+		}
+	})
+
+	t.Run("majority counts senders not sets", func(t *testing.T) {
+		// Two senders of {1,2} is not a majority of n=5.
+		msgs := map[ids.ProcID]phase1Msg{
+			1: {R: 1, L: l12, Est: 10},
+			2: {R: 1, L: l12, Est: 20},
+		}
+		if _, bot := phase1Aux(msgs, n); !bot {
+			t.Error("2 of 5 announcing the same set is not a majority")
+		}
+	})
+}
+
+func TestAnySenderIn(t *testing.T) {
+	msgs := map[ids.ProcID]phase1Msg{
+		2: {R: 1},
+		5: {R: 1},
+	}
+	if !anySenderIn(msgs, ids.NewSet(5, 6)) {
+		t.Error("sender 5 not found")
+	}
+	if anySenderIn(msgs, ids.NewSet(1, 3)) {
+		t.Error("phantom sender found")
+	}
+	if anySenderIn(nil, ids.NewSet(1)) {
+		t.Error("empty message set matched")
+	}
+}
+
+func TestDistinctValuesSorted(t *testing.T) {
+	o := NewOutcome()
+	o.Propose(1, 30)
+	o.Propose(2, 10)
+	o.Propose(3, 20)
+	o.Decide(1, Decision{Value: 30})
+	o.Decide(2, Decision{Value: 10})
+	o.Decide(3, Decision{Value: 20})
+	got := o.DistinctValues()
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Errorf("DistinctValues = %v, want sorted [10 20 30]", got)
+	}
+}
+
+func TestAllDecidedEmptyCorrectSet(t *testing.T) {
+	o := NewOutcome()
+	if !o.AllDecided(ids.EmptySet())() {
+		t.Error("vacuously true predicate returned false")
+	}
+}

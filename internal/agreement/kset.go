@@ -1,0 +1,238 @@
+package agreement
+
+import (
+	"fmt"
+
+	"fdgrid/internal/fd"
+	"fdgrid/internal/ids"
+	"fdgrid/internal/node"
+	"fdgrid/internal/rbcast"
+	"fdgrid/internal/sim"
+)
+
+// Message tags of the Ω_z-based k-set agreement protocol.
+const (
+	tagPhase1   = "kset.phase1"
+	tagPhase2   = "kset.phase2"
+	tagDecision = "kset.decision"
+)
+
+// ksetTags parameterizes the wire tags so independent instances can
+// coexist (see RunSequence).
+type ksetTags struct {
+	phase1, phase2, decision string
+}
+
+var defaultKSetTags = ksetTags{phase1: tagPhase1, phase2: tagPhase2, decision: tagDecision}
+
+type phase1Msg struct {
+	R   int
+	L   ids.Set // the sender's leader set at the start of round R
+	Est Value
+}
+
+type phase2Msg struct {
+	R   int
+	Aux Value
+	Bot bool // true means aux = ⊥
+}
+
+type decisionMsg struct {
+	Val Value
+}
+
+// KSet runs the paper's Ω_z-based k-set agreement algorithm (Fig. 3) on
+// one process, proposing v. It requires t < n/2; decisions are recorded
+// in out. The function returns after deciding (or unwinds on crash).
+//
+// Structure, following the paper's task T1 (round loop with two phases)
+// and T2 (decision dissemination via reliable broadcast):
+//
+//	r++; L_i ← trusted_i; broadcast PHASE1(r, L_i, est_i)
+//	wait ≥ n−t PHASE1(r); wait PHASE1(r) from some p ∈ L_i or L_i ≠ trusted_i
+//	aux_i ← v_L if one set L was announced by a majority and a PHASE1(r)
+//	        estimate arrived from a member of L, else ⊥
+//	broadcast PHASE2(r, aux_i); wait ≥ n−t PHASE2(r)
+//	adopt any non-⊥ value; if no ⊥ received, R-broadcast DECISION(est_i)
+//	decide upon R-delivering a DECISION (task T2) — which also prevents
+//	blocking: as soon as any process decides, all correct processes do.
+func KSet(nd *node.Node, rb *rbcast.Layer, oracle fd.Leader, v Value, out *Outcome) Value {
+	return ksetRun(nd, rb, oracle, v, out, defaultKSetTags, nil, nil)
+}
+
+// ksetRun is the Fig. 3 body with injectable wire tags, a replay queue of
+// messages that arrived before this instance started, and a stash hook
+// that may consume messages belonging to other instances.
+func ksetRun(nd *node.Node, rb *rbcast.Layer, oracle fd.Leader, v Value, out *Outcome,
+	tags ksetTags, replay []sim.Message, stash func(sim.Message) bool) Value {
+	env := nd.Env()
+	n, t, me := env.N(), env.T(), env.ID()
+	if 2*t >= n {
+		panic(fmt.Sprintf("agreement: KSet requires t < n/2, got n=%d t=%d", n, t))
+	}
+	out.Propose(me, v)
+
+	est := v
+	r := 0
+	phase1 := make(map[int]map[ids.ProcID]phase1Msg)
+	phase2 := make(map[int]map[ids.ProcID]phase2Msg)
+	var decided *Value
+
+	handle := func(m sim.Message) {
+		if stash != nil && stash(m) {
+			return
+		}
+		switch m.Tag {
+		case tags.phase1:
+			p, ok := m.Payload.(phase1Msg)
+			if !ok {
+				panic(fmt.Sprintf("agreement: phase1 payload %T", m.Payload))
+			}
+			if phase1[p.R] == nil {
+				phase1[p.R] = make(map[ids.ProcID]phase1Msg, n)
+			}
+			phase1[p.R][m.From] = p
+		case tags.phase2:
+			p, ok := m.Payload.(phase2Msg)
+			if !ok {
+				panic(fmt.Sprintf("agreement: phase2 payload %T", m.Payload))
+			}
+			if phase2[p.R] == nil {
+				phase2[p.R] = make(map[ids.ProcID]phase2Msg, n)
+			}
+			phase2[p.R][m.From] = p
+		case tags.decision:
+			p, ok := m.Payload.(decisionMsg)
+			if !ok {
+				panic(fmt.Sprintf("agreement: decision payload %T", m.Payload))
+			}
+			if decided == nil {
+				val := p.Val
+				decided = &val
+			}
+		}
+	}
+
+	for _, m := range replay {
+		handle(m)
+	}
+
+	for decided == nil {
+		r++
+		// Phase 1.
+		l := oracle.Trusted(me)
+		env.Broadcast(tags.phase1, phase1Msg{R: r, L: l, Est: est})
+		nd.WaitUntil(func() bool {
+			return decided != nil || len(phase1[r]) >= n-t
+		}, handle)
+		if decided != nil {
+			break
+		}
+		nd.WaitUntil(func() bool {
+			if decided != nil || anySenderIn(phase1[r], l) {
+				return true
+			}
+			return !oracle.Trusted(me).Equal(l)
+		}, handle)
+		if decided != nil {
+			break
+		}
+		aux, bot := phase1Aux(phase1[r], n)
+
+		// Phase 2.
+		env.Broadcast(tags.phase2, phase2Msg{R: r, Aux: aux, Bot: bot})
+		nd.WaitUntil(func() bool {
+			return decided != nil || len(phase2[r]) >= n-t
+		}, handle)
+		if decided != nil {
+			break
+		}
+		sawBot := false
+		adopted := false
+		for from, pm := range phase2[r] {
+			if pm.Bot {
+				sawBot = true
+				continue
+			}
+			// The paper adopts any received non-⊥ value ("takes one
+			// arbitrarily"); this implementation prefers its own echo
+			// when present — a legal choice that maximizes decision
+			// diversity, making the z ≤ k tightness observable.
+			switch {
+			case from == me:
+				est = pm.Aux
+				adopted = true
+			case !adopted:
+				est = pm.Aux
+				adopted = true
+			}
+		}
+		if !adopted {
+			continue
+		}
+		if !sawBot {
+			rb.Broadcast(tags.decision, decisionMsg{Val: est})
+			nd.WaitUntil(func() bool { return decided != nil }, handle)
+		}
+	}
+
+	out.Decide(me, Decision{Value: *decided, Round: r, At: env.Now()})
+	return *decided
+}
+
+// anySenderIn reports whether some message in msgs came from a member of l.
+func anySenderIn(msgs map[ids.ProcID]phase1Msg, l ids.Set) bool {
+	for from := range msgs {
+		if l.Contains(from) {
+			return true
+		}
+	}
+	return false
+}
+
+// phase1Aux computes aux_i at the end of phase 1: if one leader set L was
+// announced by a strict majority of the senders heard so far, and some
+// heard sender belongs to L, aux is that sender's estimate (the estimate
+// of the smallest-id such leader, deterministically); otherwise aux = ⊥.
+func phase1Aux(msgs map[ids.ProcID]phase1Msg, n int) (aux Value, bot bool) {
+	counts := make(map[ids.Set]int, len(msgs))
+	var major ids.Set
+	found := false
+	for _, pm := range msgs {
+		counts[pm.L]++
+		if 2*counts[pm.L] > n {
+			major = pm.L
+			found = true
+		}
+	}
+	if !found {
+		return 0, true
+	}
+	var bestFrom ids.ProcID
+	for from, pm := range msgs {
+		if !major.Contains(from) {
+			continue
+		}
+		if bestFrom == ids.None || from < bestFrom {
+			bestFrom = from
+			aux = pm.Est
+		}
+	}
+	if bestFrom == ids.None {
+		return 0, true
+	}
+	return aux, false
+}
+
+// KSetMain returns a process main running KSet over a fresh rbcast layer,
+// for runs without a transformation stack underneath.
+func KSetMain(oracle fd.Leader, v Value, out *Outcome) func(*sim.Env) {
+	return func(env *sim.Env) {
+		rb := rbcast.New(env)
+		nd := node.New(env, rb)
+		KSet(nd, rb, oracle, v, out)
+		// Keep serving the event loop so reliable broadcast frames keep
+		// being relayed to slower processes.
+		nd.RunForever()
+	}
+}

@@ -1,0 +1,119 @@
+package agreement
+
+import (
+	"testing"
+
+	"fdgrid/internal/fd"
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// TestKSetLeaderChangeUnblocks drives the Fig. 3 wait
+// "phase1 from p ∈ L_i OR L_i ≠ trusted_i" down its second branch
+// deterministically: the scripted Ω first points at an initially-crashed
+// process (no phase1 will ever arrive from it), then switches to a
+// correct leader. The protocol must ride the oracle change out of the
+// wait, finish round 1 with aux = ⊥, and decide in a later round.
+func TestKSetLeaderChangeUnblocks(t *testing.T) {
+	const n = 5
+	cfg := sim.Config{
+		N: n, T: 2, Seed: 31, MaxSteps: 2_000_000, GST: 0, Bandwidth: n,
+		Crashes: map[ids.ProcID]sim.Time{4: 0},
+	}
+	sys := sim.MustNew(cfg)
+	oracle := fd.NewScriptedLeader(sys, []fd.LeaderStep{
+		{At: 0, Common: ids.NewSet(4)},     // dead leader: wait must stall
+		{At: 3_000, Common: ids.NewSet(1)}, // switch: wait unblocks on L_i ≠ trusted_i
+	})
+	out := NewOutcome()
+	for p := 1; p <= n; p++ {
+		sys.Spawn(ids.ProcID(p), KSetMain(oracle, Value(p), out))
+	}
+	rep := sys.Run(out.AllDecided(sys.Pattern().Correct()))
+	if !rep.StoppedEarly {
+		t.Fatalf("timed out; decisions %v", out.Decisions())
+	}
+	if err := out.Check(sys.Pattern(), 1); err != nil {
+		t.Fatal(err)
+	}
+	for p, d := range out.Decisions() {
+		if d.Round < 2 {
+			t.Errorf("%v decided in round %d; the dead-leader round should not decide", p, d.Round)
+		}
+		if d.At <= 3_000 {
+			t.Errorf("%v decided at vtick %d, before the oracle switched", p, d.At)
+		}
+	}
+}
+
+// TestKSetNoMajorityLeaderSetGivesBot: when processes report distinct
+// leader sets (no majority), phase 1 yields ⊥ and no decision happens in
+// that round; once the script converges, a decision follows.
+func TestKSetNoMajorityLeaderSetGivesBot(t *testing.T) {
+	const n = 5
+	cfg := sim.Config{
+		N: n, T: 2, Seed: 33, MaxSteps: 2_000_000, GST: 0, Bandwidth: n,
+	}
+	sys := sim.MustNew(cfg)
+	perProc := map[ids.ProcID]ids.Set{
+		1: ids.NewSet(1), 2: ids.NewSet(2), 3: ids.NewSet(3),
+		4: ids.NewSet(4), 5: ids.NewSet(5),
+	}
+	oracle := fd.NewScriptedLeader(sys, []fd.LeaderStep{
+		{At: 0, PerProc: perProc, Common: ids.NewSet(1)},
+		{At: 4_000, Common: ids.NewSet(2)},
+	})
+	out := NewOutcome()
+	for p := 1; p <= n; p++ {
+		sys.Spawn(ids.ProcID(p), KSetMain(oracle, Value(10*p), out))
+	}
+	rep := sys.Run(out.AllDecided(sys.Pattern().Correct()))
+	if !rep.StoppedEarly {
+		t.Fatal("timed out")
+	}
+	if err := out.Check(sys.Pattern(), 1); err != nil {
+		t.Fatal(err)
+	}
+	for p, d := range out.Decisions() {
+		if d.Value != 20 {
+			t.Errorf("%v decided %d, want the converged leader's estimate 20", p, d.Value)
+		}
+	}
+}
+
+// TestConsensusDSCoordinatorCrash: the rotating-coordinator baseline
+// survives its coordinator crashing mid-round (suspicion unblocks the
+// wait) — the classic unreliable-failure-detector scenario.
+func TestConsensusDSCoordinatorCrash(t *testing.T) {
+	const n = 5
+	for seed := int64(0); seed < 4; seed++ {
+		cfg := sim.Config{
+			N: n, T: 2, Seed: seed, MaxSteps: 2_000_000, GST: 800, Bandwidth: n,
+			// Process 1 coordinates round 1; crash it immediately.
+			Crashes: map[ids.ProcID]sim.Time{1: 0},
+		}
+		sys := sim.MustNew(cfg)
+		susp := fd.NewEvtS(sys, n)
+		out := NewOutcome()
+		for p := 1; p <= n; p++ {
+			sys.Spawn(ids.ProcID(p), ConsensusDSMain(susp, Value(p), out))
+		}
+		rep := sys.Run(out.AllDecided(sys.Pattern().Correct()))
+		if !rep.StoppedEarly {
+			t.Fatalf("seed %d: timed out", seed)
+		}
+		if err := out.Check(sys.Pattern(), 1); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		// The decided value must come from a live proposer (validity is
+		// checked against all proposals; with p1 dead its value can
+		// only be decided if some round-1 echo carried it — possible
+		// only if p1's EST escaped before the crash, which the initial
+		// crash precludes).
+		for p, d := range out.Decisions() {
+			if d.Value == 1 {
+				t.Errorf("seed %d: %v decided the initially-crashed proposer's value", seed, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package agreement
+
+import (
+	"testing"
+
+	"fdgrid/internal/fd"
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+func TestSeqInstanceOf(t *testing.T) {
+	tags := seqTags(7)
+	for _, tag := range []string{tags.phase1, tags.phase2, tags.decision} {
+		inst, ok := seqInstanceOf(tag)
+		if !ok || inst != 7 {
+			t.Errorf("seqInstanceOf(%q) = %d, %v", tag, inst, ok)
+		}
+	}
+	for _, tag := range []string{"kset.phase1", "kseq.x.phase1", "kseq.3", "other"} {
+		if _, ok := seqInstanceOf(tag); ok {
+			t.Errorf("seqInstanceOf(%q) accepted", tag)
+		}
+	}
+}
+
+// TestSequenceRunsManyInstances: R consecutive instances, every instance
+// independently satisfies the agreement properties.
+func TestSequenceRunsManyInstances(t *testing.T) {
+	const (
+		n = 5
+		r = 5 // instances
+	)
+	for seed := int64(0); seed < 3; seed++ {
+		cfg := sim.Config{
+			N: n, T: 2, Seed: seed, MaxSteps: 4_000_000, GST: 500, Bandwidth: n,
+			Crashes: map[ids.ProcID]sim.Time{4: 900},
+		}
+		sys := sim.MustNew(cfg)
+		oracle := fd.NewOmega(sys, 2)
+		outs := make([]*Outcome, r)
+		for i := range outs {
+			outs[i] = NewOutcome()
+		}
+		for p := 1; p <= n; p++ {
+			id := ids.ProcID(p)
+			vals := make([]Value, r)
+			for i := range vals {
+				vals[i] = Value(100*(i+1) + p)
+			}
+			sys.Spawn(id, SequenceMain(oracle, vals, outs))
+		}
+		rep := sys.Run(AllInstancesDecided(outs, sys.Pattern().Correct()))
+		if !rep.StoppedEarly {
+			for i, o := range outs {
+				t.Logf("instance %d decisions: %v", i, o.Decisions())
+			}
+			t.Fatalf("seed %d: timed out", seed)
+		}
+		for i, o := range outs {
+			if err := o.Check(sys.Pattern(), 2); err != nil {
+				t.Errorf("seed %d instance %d: %v", seed, i, err)
+			}
+		}
+	}
+}
+
+// TestSequenceZeroDegradation is the paper's §3.2 point made executable:
+// with a perfect detector and only initial crashes, *every* instance of
+// a repeated sequence decides in one round — past failures cost nothing.
+func TestSequenceZeroDegradation(t *testing.T) {
+	const (
+		n = 7
+		r = 4
+	)
+	for seed := int64(0); seed < 3; seed++ {
+		cfg := sim.Config{
+			N: n, T: 3, Seed: seed, MaxSteps: 4_000_000, GST: 0, Bandwidth: n,
+			Crashes: map[ids.ProcID]sim.Time{2: 0, 6: 0},
+		}
+		sys := sim.MustNew(cfg)
+		oracle := fd.NewOmega(sys, 2, fd.WithStabilizeAt(0), fd.WithTrusted(ids.NewSet(1, 4)))
+		outs := make([]*Outcome, r)
+		for i := range outs {
+			outs[i] = NewOutcome()
+		}
+		for p := 1; p <= n; p++ {
+			id := ids.ProcID(p)
+			vals := make([]Value, r)
+			for i := range vals {
+				vals[i] = Value(100*(i+1) + p)
+			}
+			sys.Spawn(id, SequenceMain(oracle, vals, outs))
+		}
+		rep := sys.Run(AllInstancesDecided(outs, sys.Pattern().Correct()))
+		if !rep.StoppedEarly {
+			t.Fatalf("seed %d: timed out", seed)
+		}
+		for i, o := range outs {
+			if err := o.Check(sys.Pattern(), 2); err != nil {
+				t.Fatalf("seed %d instance %d: %v", seed, i, err)
+			}
+			for p, d := range o.Decisions() {
+				if d.Round != 1 {
+					t.Errorf("seed %d instance %d: %v decided in round %d (degradation!)",
+						seed, i, p, d.Round)
+				}
+			}
+		}
+	}
+}
+
+func TestRunSequenceValidatesLengths(t *testing.T) {
+	cfg := sim.Config{N: 3, T: 1, Seed: 1, MaxSteps: 10_000}
+	sys := sim.MustNew(cfg)
+	oracle := fd.NewOmega(sys, 1)
+	caught := make(chan bool, 1)
+	sys.Spawn(1, func(env *sim.Env) {
+		defer func() { caught <- recover() != nil }()
+		SequenceMain(oracle, make([]Value, 2), make([]*Outcome, 3))(env)
+	})
+	func() {
+		defer func() { recover() }() // sim re-raises the main's panic
+		sys.Run(func() bool { return len(caught) > 0 })
+	}()
+	if !<-caught {
+		t.Error("mismatched lengths did not panic")
+	}
+}

@@ -1,0 +1,74 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+func TestParseCrashes(t *testing.T) {
+	got, err := ParseCrashes("3:0, 5:400", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[3] != 0 || got[5] != 400 {
+		t.Errorf("got %v", got)
+	}
+	empty, err := ParseCrashes("  ", 6)
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty spec: %v %v", empty, err)
+	}
+	bad := []string{"3", "x:1", "3:x", "9:1", "0:1", "3:-2", "3:1,3:2"}
+	for _, spec := range bad {
+		if _, err := ParseCrashes(spec, 6); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParseCrashesTypes(t *testing.T) {
+	got, _ := ParseCrashes("2:7", 3)
+	var _ map[ids.ProcID]sim.Time = got
+}
+
+func TestTablePlain(t *testing.T) {
+	tab := &Table{Headers: []string{"a", "long-header"}}
+	tab.Add(1, "x")
+	tab.Add("yy", 234)
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[0], "long-header") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "1 ") {
+		t.Errorf("row misaligned: %q", lines[2])
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{Markdown: true, Headers: []string{"h1", "h2"}}
+	tab.Add("v", 2)
+	s := tab.String()
+	if !strings.Contains(s, "| h1 | h2 |") {
+		t.Errorf("markdown header missing:\n%s", s)
+	}
+	if !strings.Contains(s, "| -- | -- |") {
+		t.Errorf("markdown separator missing:\n%s", s)
+	}
+	if !strings.Contains(s, "| v  | 2  |") {
+		t.Errorf("markdown row missing:\n%s", s)
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tab := &Table{Headers: []string{"a", "b", "c"}}
+	tab.Add("only")
+	if s := tab.String(); !strings.Contains(s, "only") {
+		t.Errorf("short row mangled:\n%s", s)
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"testing"
+
+	"fdgrid/internal/agreement"
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+func TestFamilyAndClassStrings(t *testing.T) {
+	cases := map[Class]string{
+		{FamS, 2}:      "S_2",
+		{FamEvtS, 3}:   "<>S_3",
+		{FamOmega, 1}:  "Omega_1",
+		{FamPhi, 0}:    "phi_0",
+		{FamEvtPhi, 2}: "<>phi_2",
+		{FamPsi, 1}:    "Psi_1",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%#v.String() = %q, want %q", c, got, want)
+		}
+	}
+	if got := Family(99).String(); got != "Family(99)" {
+		t.Errorf("unknown family = %q", got)
+	}
+}
+
+func TestKSetPower(t *testing.T) {
+	const tt = 3 // resilience
+	cases := []struct {
+		c    Class
+		want int
+	}{
+		{Class{FamS, tt + 1}, 1},    // S_{t+1}: consensus line
+		{Class{FamEvtS, tt + 1}, 1}, //
+		{Class{FamEvtS, tt}, 2},     // line 2
+		{Class{FamEvtS, 1}, tt + 1}, // no information
+		{Class{FamOmega, 1}, 1},     //
+		{Class{FamOmega, tt + 1}, tt + 1},
+		{Class{FamPhi, tt}, 1},     // φ_t ≡ P: consensus line
+		{Class{FamEvtPhi, tt}, 1},  //
+		{Class{FamPhi, 0}, tt + 1}, // no information
+		{Class{FamPsi, 1}, tt},     //
+		{Class{FamEvtS, 60}, 1},    // clamped below 1
+	}
+	for _, c := range cases {
+		if got := KSetPower(c.c, tt); got != c.want {
+			t.Errorf("KSetPower(%v, t=%d) = %d, want %d", c.c, tt, got, c.want)
+		}
+	}
+}
+
+func TestGridLineShape(t *testing.T) {
+	const tt = 3
+	for z := 1; z <= tt+1; z++ {
+		line := GridLine(z, tt)
+		if len(line) != 6 {
+			t.Fatalf("line %d has %d classes", z, len(line))
+		}
+		for _, c := range line {
+			if got := KSetPower(c, tt); got != z {
+				t.Errorf("line %d: %v has power %d", z, c, got)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GridLine(0) did not panic")
+		}
+	}()
+	GridLine(0, tt)
+}
+
+func TestCanTransformTheoremTable(t *testing.T) {
+	const tt = 3
+	cases := []struct {
+		name string
+		from []Class
+		to   Class
+		want bool
+	}{
+		// Intra-family.
+		{"S weaken", []Class{{FamS, 3}}, Class{FamS, 2}, true},
+		{"S strengthen", []Class{{FamS, 2}}, Class{FamS, 3}, false},
+		{"Omega widen", []Class{{FamOmega, 1}}, Class{FamOmega, 2}, true},
+		{"Omega narrow", []Class{{FamOmega, 2}}, Class{FamOmega, 1}, false},
+		{"phi weaken", []Class{{FamPhi, 2}}, Class{FamPhi, 1}, true},
+		// Perpetual → eventual.
+		{"S to evtS", []Class{{FamS, 2}}, Class{FamEvtS, 2}, true},
+		{"phi to evtphi", []Class{{FamPhi, 2}}, Class{FamEvtPhi, 1}, true},
+		{"phi to Psi", []Class{{FamPhi, 2}}, Class{FamPsi, 2}, true},
+		// Corollary 7: ◇S_x → Ω_z iff x+z > t+1.
+		{"EvtS to Omega ok", []Class{{FamEvtS, 3}}, Class{FamOmega, 2}, true},
+		{"EvtS to Omega tight", []Class{{FamEvtS, 2}}, Class{FamOmega, 2}, false},
+		{"S to Omega ok", []Class{{FamS, 4}}, Class{FamOmega, 1}, true},
+		// Corollary 6: ◇φ_y → Ω_z iff y+z > t.
+		{"EvtPhi to Omega ok", []Class{{FamEvtPhi, 2}}, Class{FamOmega, 2}, true},
+		{"EvtPhi to Omega tight", []Class{{FamEvtPhi, 1}}, Class{FamOmega, 2}, false},
+		{"Psi to Omega ok", []Class{{FamPsi, 3}}, Class{FamOmega, 1}, true},
+		// Theorem 9: S_x ⇏ φ_y-family.
+		{"S to phi no", []Class{{FamS, 3}}, Class{FamPhi, 1}, false},
+		{"S to evtphi no", []Class{{FamS, 3}}, Class{FamEvtPhi, 1}, false},
+		{"S to phi0 trivial", []Class{{FamS, 1}}, Class{FamPhi, 0}, true},
+		// Theorem 10: φ_y ⇏ S_x-family (x > 1).
+		{"phi to S no", []Class{{FamPhi, 3}}, Class{FamS, 2}, false},
+		{"phi to S1 trivial", []Class{{FamPhi, 1}}, Class{FamS, 1}, true},
+		// Theorems 11, 12: Ω_z ⇏ φ/S.
+		{"Omega to phi no", []Class{{FamOmega, 1}}, Class{FamEvtPhi, 1}, false},
+		{"Omega to S no", []Class{{FamOmega, 1}}, Class{FamEvtS, 2}, false},
+		// Theorem 8: additions.
+		{"add to Omega ok", []Class{{FamEvtS, 2}, {FamEvtPhi, 2}}, Class{FamOmega, 1}, true},
+		{"add to Omega tight", []Class{{FamEvtS, 2}, {FamEvtPhi, 1}}, Class{FamOmega, 1}, false},
+		{"add motivating", []Class{{FamEvtS, tt}, {FamEvtPhi, 1}}, Class{FamOmega, 1}, true},
+		// Appendix B.
+		{"add to S ok", []Class{{FamS, 2}, {FamPhi, 2}}, Class{FamS, 5}, true},
+		{"add to S tight", []Class{{FamS, 1}, {FamPhi, 2}}, Class{FamS, 5}, false},
+		{"add evt to evtS", []Class{{FamEvtS, 2}, {FamEvtPhi, 2}}, Class{FamEvtS, 5}, true},
+		{"add evt to S no", []Class{{FamEvtS, 2}, {FamEvtPhi, 2}}, Class{FamS, 5}, false},
+		// Order of sources must not matter.
+		{"add swapped", []Class{{FamEvtPhi, 2}, {FamEvtS, 2}}, Class{FamOmega, 1}, true},
+		// A second source that adds nothing.
+		{"two omegas", []Class{{FamOmega, 1}, {FamOmega, 2}}, Class{FamOmega, 2}, true},
+	}
+	for _, c := range cases {
+		got := CanTransform(c.from, c.to, tt)
+		if got.OK != c.want {
+			t.Errorf("%s: CanTransform(%v → %v) = %v (%s), want %v",
+				c.name, c.from, c.to, got.OK, got.Reason, c.want)
+		}
+		if got.Reason == "" {
+			t.Errorf("%s: empty reason", c.name)
+		}
+	}
+}
+
+// TestCanTransformConsistentWithGrid: every class on line z can be
+// transformed into Ω_z (the weakest of the line), and none can reach the
+// stronger Ω_{z−1}.
+func TestCanTransformConsistentWithGrid(t *testing.T) {
+	const tt = 4
+	for z := 1; z <= tt+1; z++ {
+		for _, c := range GridLine(z, tt) {
+			if c.Fam == FamOmega {
+				continue
+			}
+			if v := CanTransform([]Class{c}, Class{FamOmega, z}, tt); !v.OK {
+				t.Errorf("line %d: %v cannot reach Omega_%d: %s", z, c, z, v.Reason)
+			}
+			if z > 1 {
+				if v := CanTransform([]Class{c}, Class{FamOmega, z - 1}, tt); v.OK {
+					t.Errorf("line %d: %v reaches the stronger Omega_%d: %s", z, c, z-1, v.Reason)
+				}
+			}
+		}
+	}
+}
+
+// TestGridLineSolvesKSet runs the actual protocols: every class of every
+// grid line decides, with at most z distinct values (paper Fig. 1,
+// EXP-F1). This is the repository's flagship integration test.
+func TestGridLineSolvesKSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid verification is slow; run without -short")
+	}
+	const (
+		n  = 5
+		tt = 2
+	)
+	crashes := map[ids.ProcID]sim.Time{4: 900}
+	for z := 1; z <= tt+1; z++ {
+		for _, c := range GridLine(z, tt) {
+			t.Run(c.String(), func(t *testing.T) {
+				cfg := sim.Config{
+					N: n, T: tt, Seed: 17, MaxSteps: 600_000,
+					GST: 700, Crashes: crashes, Bandwidth: n,
+				}
+				sys := sim.MustNew(cfg)
+				out, err := SpawnKSetWith(sys, c, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep := sys.Run(out.AllDecided(sys.Pattern().Correct()))
+				if !rep.StoppedEarly {
+					t.Fatalf("timed out; decisions: %v", out.Decisions())
+				}
+				if err := out.Check(sys.Pattern(), z); err != nil {
+					t.Errorf("z=%d: %v", z, err)
+				}
+			})
+		}
+	}
+}
+
+func TestSpawnKSetWithValidation(t *testing.T) {
+	sys := sim.MustNew(sim.Config{N: 4, T: 2, Seed: 1, MaxSteps: 100})
+	if _, err := SpawnKSetWith(sys, Class{FamOmega, 1}, nil); err == nil {
+		t.Error("t ≥ n/2 accepted")
+	}
+	sys2 := sim.MustNew(sim.Config{N: 5, T: 2, Seed: 1, MaxSteps: 100})
+	if _, err := SpawnKSetWith(sys2, Class{FamOmega, 9}, nil); err == nil {
+		t.Error("Omega_9 on 5 processes accepted")
+	}
+	sys3 := sim.MustNew(sim.Config{N: 5, T: 2, Seed: 1, MaxSteps: 100})
+	if _, err := SpawnKSetWith(sys3, Class{FamPhi, 5}, nil); err == nil {
+		t.Error("phi_5 with t=2 accepted")
+	}
+	sys4 := sim.MustNew(sim.Config{N: 5, T: 2, Seed: 1, MaxSteps: 100})
+	if _, err := SpawnKSetWith(sys4, Class{Fam: Family(42), Param: 1}, nil); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+// TestSpawnKSetWithProposals: explicit proposals are honoured.
+func TestSpawnKSetWithProposals(t *testing.T) {
+	cfg := sim.Config{N: 5, T: 2, Seed: 23, MaxSteps: 300_000, GST: 0, Bandwidth: 5}
+	sys := sim.MustNew(cfg)
+	props := map[ids.ProcID]agreement.Value{1: 100, 2: 100, 3: 100, 4: 100, 5: 100}
+	out, err := SpawnKSetWith(sys, Class{FamOmega, 2}, props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(out.AllDecided(sys.Pattern().Correct()))
+	if !rep.StoppedEarly {
+		t.Fatal("timed out")
+	}
+	for p, d := range out.Decisions() {
+		if d.Value != 100 {
+			t.Errorf("%v decided %d, want 100", p, d.Value)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"fdgrid/internal/agreement"
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// TestGridLargerSystem spot-checks representative grid cells at
+// (n, t) = (7, 3) — one class per line, rotating families — with two
+// crashes straddling the GST.
+func TestGridLargerSystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger-grid verification is slow; run without -short")
+	}
+	const (
+		n  = 7
+		tt = 3
+	)
+	picks := []Class{
+		{Fam: FamEvtS, Param: tt + 1},   // line 1
+		{Fam: FamEvtPhi, Param: tt - 1}, // line 2
+		{Fam: FamPsi, Param: tt - 2},    // line 3
+		{Fam: FamOmega, Param: tt + 1},  // line 4
+	}
+	for _, c := range picks {
+		z := KSetPower(c, tt)
+		t.Run(c.String(), func(t *testing.T) {
+			cfg := sim.Config{
+				N: n, T: tt, Seed: 12, MaxSteps: 3_000_000, GST: 800,
+				Crashes:   map[ids.ProcID]sim.Time{3: 400, 6: 1_200},
+				Bandwidth: n,
+			}
+			sys := sim.MustNew(cfg)
+			out, err := SpawnKSetWith(sys, c, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := sys.Run(out.AllDecided(sys.Pattern().Correct()))
+			if !rep.StoppedEarly {
+				t.Fatalf("timed out; decisions %v", out.Decisions())
+			}
+			if err := out.Check(sys.Pattern(), z); err != nil {
+				t.Errorf("z=%d: %v", z, err)
+			}
+		})
+	}
+}
+
+// TestSpawnKSetWithPerpetualStack: the perpetual classes route through
+// the same stacks; perpetual accuracy means decisions can come before
+// any stabilization.
+func TestSpawnKSetWithPerpetualStack(t *testing.T) {
+	cfg := sim.Config{
+		N: 5, T: 2, Seed: 9, MaxSteps: 1_000_000, GST: 50_000, // GST far away
+		Bandwidth: 5,
+	}
+	sys := sim.MustNew(cfg)
+	out, err := SpawnKSetWith(sys, Class{Fam: FamS, Param: 3}, map[ids.ProcID]agreement.Value{
+		1: 7, 2: 7, 3: 7, 4: 7, 5: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(out.AllDecided(sys.Pattern().Correct()))
+	if !rep.StoppedEarly {
+		t.Fatal("timed out")
+	}
+	if rep.Steps >= cfg.GST {
+		t.Errorf("perpetual class needed %d ticks, should decide well before the (irrelevant) GST", rep.Steps)
+	}
+	if err := out.Check(sys.Pattern(), 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range out.Decisions() {
+		if d.Value != 7 {
+			t.Errorf("decided %d, want 7", d.Value)
+		}
+	}
+}

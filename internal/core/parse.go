@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseClass parses a class in the repository's ASCII notation:
+// "S_x", "<>S_x", "Omega_z", "phi_y", "<>phi_y", "Psi_y" — e.g.
+// "<>S_3" or "phi_1". It is the inverse of Class.String.
+func ParseClass(s string) (Class, error) {
+	i := strings.LastIndex(s, "_")
+	if i < 0 {
+		return Class{}, fmt.Errorf("core: class %q not of the form Family_param", s)
+	}
+	param, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return Class{}, fmt.Errorf("core: bad class parameter in %q", s)
+	}
+	var fam Family
+	switch s[:i] {
+	case "S":
+		fam = FamS
+	case "<>S":
+		fam = FamEvtS
+	case "Omega":
+		fam = FamOmega
+	case "phi":
+		fam = FamPhi
+	case "<>phi":
+		fam = FamEvtPhi
+	case "Psi":
+		fam = FamPsi
+	default:
+		return Class{}, fmt.Errorf("core: unknown family %q", s[:i])
+	}
+	return Class{Fam: fam, Param: param}, nil
+}

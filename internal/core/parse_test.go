@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseClass(t *testing.T) {
+	good := map[string]Class{
+		"S_2":      {FamS, 2},
+		"<>S_3":    {FamEvtS, 3},
+		"Omega_1":  {FamOmega, 1},
+		"phi_0":    {FamPhi, 0},
+		"<>phi_2":  {FamEvtPhi, 2},
+		"Psi_4":    {FamPsi, 4},
+		"Omega_12": {FamOmega, 12},
+	}
+	for s, want := range good {
+		got, err := ParseClass(s)
+		if err != nil {
+			t.Errorf("ParseClass(%q): %v", s, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseClass(%q) = %v, want %v", s, got, want)
+		}
+	}
+	bad := []string{"", "S", "S_", "S_x", "Bogus_1", "omega_1", "_3"}
+	for _, s := range bad {
+		if _, err := ParseClass(s); err == nil {
+			t.Errorf("ParseClass(%q) accepted", s)
+		}
+	}
+}
+
+// TestParseClassRoundTrip: String and ParseClass are inverses.
+func TestParseClassRoundTrip(t *testing.T) {
+	fams := []Family{FamS, FamEvtS, FamOmega, FamPhi, FamEvtPhi, FamPsi}
+	law := func(famIdx, param uint8) bool {
+		c := Class{Fam: fams[int(famIdx)%len(fams)], Param: int(param % 60)}
+		got, err := ParseClass(c.String())
+		return err == nil && got == c
+	}
+	if err := quick.Check(law, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

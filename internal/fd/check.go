@@ -1,0 +1,122 @@
+package fd
+
+import (
+	"fmt"
+
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// CheckOmega verifies the Ω_z property on a recorded trace: there is a
+// time after which all correct processes output the same set, of size at
+// most z, containing at least one correct process — and that the
+// stabilized suffix lasted at least minStable ticks (so "eventually" is
+// observed with margin, not just at the last sample).
+func (tr *SetTrace) CheckOmega(pat *sim.Pattern, z int, minStable sim.Time) error {
+	correct := pat.Correct()
+	if correct.IsEmpty() {
+		return fmt.Errorf("fd: pattern has no correct process")
+	}
+	var common ids.Set
+	first := true
+	var stabilizedAt sim.Time
+	var err error
+	correct.ForEach(func(p ids.ProcID) bool {
+		v, ok := tr.FinalValue(p)
+		if !ok {
+			err = fmt.Errorf("fd: Ω check: process %v was never sampled", p)
+			return false
+		}
+		if first {
+			common, first = v, false
+		} else if !v.Equal(common) {
+			err = fmt.Errorf("fd: Ω check: final trusted sets differ: %v has %s, earlier process has %s", p, v, common)
+			return false
+		}
+		if lc := tr.LastChange(p); lc > stabilizedAt {
+			stabilizedAt = lc
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if common.Size() > z {
+		return fmt.Errorf("fd: Ω check: trusted set %s has size %d > z=%d", common, common.Size(), z)
+	}
+	if common.IsEmpty() {
+		return fmt.Errorf("fd: Ω check: trusted set is empty")
+	}
+	if !common.Intersects(correct) {
+		return fmt.Errorf("fd: Ω check: trusted set %s contains no correct process (correct=%s)", common, correct)
+	}
+	if got := tr.Horizon() - stabilizedAt; got < minStable {
+		return fmt.Errorf("fd: Ω check: stable suffix only %d ticks (< %d): not confidently stabilized", got, minStable)
+	}
+	return nil
+}
+
+// CheckSuspector verifies the S_x (perpetual=true) or ◇S_x
+// (perpetual=false) properties on a recorded trace:
+//
+//   - Strong completeness: eventually every faulty process is permanently
+//     suspected by every correct process; "eventually" is checked with a
+//     stable suffix of at least minStable ticks.
+//   - Limited-scope weak accuracy: there is a correct process ℓ and a set
+//     Q ∋ ℓ with |Q| ≥ x whose members never suspect ℓ — over the whole
+//     trace for S_x, over a suffix of at least minStable ticks for ◇S_x.
+//     Faulty processes qualify for Q once crashed (a crashed process
+//     suspects nobody); for the perpetual class they must also not have
+//     suspected ℓ before crashing.
+func (tr *SetTrace) CheckSuspector(pat *sim.Pattern, x int, perpetual bool, minStable sim.Time) error {
+	correct := pat.Correct()
+	faulty := pat.Faulty()
+	horizon := tr.Horizon()
+
+	// Completeness.
+	lastIncomplete := tr.lastViolation(correct, func(_ ids.ProcID, v ids.Set) bool {
+		return faulty.SubsetOf(v)
+	})
+	if horizon-lastIncomplete < minStable {
+		return fmt.Errorf("fd: S check: completeness not stable: last sample missing a faulty process ends at %d (horizon %d)", lastIncomplete, horizon)
+	}
+
+	// Accuracy: search over candidate leaders.
+	var best string
+	okAccuracy := false
+	correct.ForEach(func(l ids.ProcID) bool {
+		q := faulty // crashed processes suspect nobody
+		if perpetual {
+			q = ids.EmptySet()
+			faulty.ForEach(func(p ids.ProcID) bool {
+				if !tr.everContained(p, l) {
+					q = q.Add(p)
+				}
+				return true
+			})
+		}
+		correct.ForEach(func(p ids.ProcID) bool {
+			last := tr.lastTimeContaining(p, l)
+			if perpetual {
+				if last < 0 {
+					q = q.Add(p)
+				}
+			} else if horizon-last >= minStable {
+				q = q.Add(p)
+			}
+			return true
+		})
+		if q.Contains(l) && q.Size() >= x {
+			okAccuracy = true
+			return false
+		}
+		if q.Size() > 0 {
+			best = fmt.Sprintf("best candidate ℓ=%v had Q=%s (size %d, need %d, ℓ∈Q=%v)", l, q, q.Size(), x, q.Contains(l))
+		}
+		return true
+	})
+	if !okAccuracy {
+		return fmt.Errorf("fd: S check: no correct ℓ with a non-suspecting scope of size ≥ %d; %s", x, best)
+	}
+	return nil
+}

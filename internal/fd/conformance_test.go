@@ -1,0 +1,121 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// randomPattern draws a random legal configuration: n ∈ 4..8, t < n,
+// up to t crashes at random times.
+func randomPattern(rng *rand.Rand) sim.Config {
+	n := 4 + rng.Intn(5)
+	t := 1 + rng.Intn(n-1)
+	crashes := make(map[ids.ProcID]sim.Time)
+	for _, p := range rng.Perm(n)[:rng.Intn(t+1)] {
+		crashes[ids.ProcID(p+1)] = sim.Time(rng.Intn(1_200))
+	}
+	return sim.Config{
+		N: n, T: t, Seed: rng.Int63(), MaxSteps: 3_000,
+		GST: sim.Time(rng.Intn(1_500)), Crashes: crashes,
+	}
+}
+
+// TestQuickSuspectorConformance: across random configurations, scopes
+// and anarchy rates, ◇S_x and S_x oracles always satisfy their class.
+func TestQuickSuspectorConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 40; i++ {
+		cfg := randomPattern(rng)
+		x := 1 + rng.Intn(cfg.N)
+		perpetual := rng.Intn(2) == 0
+		rate := rng.Float64()
+
+		sys := sim.MustNew(cfg)
+		var s *Suspect
+		if perpetual {
+			s = NewS(sys, x, WithAnarchyRate(rate))
+		} else {
+			s = NewEvtS(sys, x, WithAnarchyRate(rate))
+		}
+		tr := WatchSuspector(sys, s)
+		sys.Run(nil)
+		if err := tr.CheckSuspector(sys.Pattern(), x, perpetual, 500); err != nil {
+			t.Errorf("iter %d (n=%d t=%d x=%d perpetual=%v crashes=%v): %v",
+				i, cfg.N, cfg.T, x, perpetual, cfg.Crashes, err)
+		}
+	}
+}
+
+// TestQuickOmegaConformance: Ω_z conformance across random configs.
+func TestQuickOmegaConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for i := 0; i < 40; i++ {
+		cfg := randomPattern(rng)
+		z := 1 + rng.Intn(cfg.N)
+		sys := sim.MustNew(cfg)
+		w := NewOmega(sys, z, WithEpoch(sim.Time(1+rng.Intn(64))))
+		tr := WatchLeader(sys, w)
+		sys.Run(nil)
+		if err := tr.CheckOmega(sys.Pattern(), z, 500); err != nil {
+			t.Errorf("iter %d (n=%d t=%d z=%d crashes=%v): %v",
+				i, cfg.N, cfg.T, z, cfg.Crashes, err)
+		}
+	}
+}
+
+// TestQuickPhiConformance: φ_y triviality, safety and liveness over all
+// subsets in random configurations (post-GST for the eventual flavor).
+func TestQuickPhiConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for i := 0; i < 30; i++ {
+		cfg := randomPattern(rng)
+		y := rng.Intn(cfg.T + 1)
+		perpetual := rng.Intn(2) == 0
+		sys := sim.MustNew(cfg)
+		var f *Phi
+		if perpetual {
+			f = NewPhi(sys, y)
+		} else {
+			f = NewEvtPhi(sys, y)
+		}
+		pat := sys.Pattern()
+		tt := cfg.T
+		sys.OnTick(func(now sim.Time) {
+			if now != cfg.MaxSteps-1 && now != cfg.GST+600 {
+				return
+			}
+			if !perpetual && now < sys.GST() {
+				return
+			}
+			// Sweep subset sizes 0..n via sampled subsets.
+			for trial := 0; trial < 20; trial++ {
+				var x ids.Set
+				for p := 1; p <= cfg.N; p++ {
+					if rng.Intn(2) == 0 {
+						x = x.Add(ids.ProcID(p))
+					}
+				}
+				got := f.Query(1, x)
+				switch {
+				case x.Size() <= tt-y:
+					if !got {
+						t.Errorf("iter %d t=%d: trivial-true region answered false for %s", i, now, x)
+					}
+				case x.Size() > tt:
+					if got {
+						t.Errorf("iter %d t=%d: trivial-false region answered true for %s", i, now, x)
+					}
+				default:
+					want := pat.AllCrashed(x, now)
+					if got != want {
+						t.Errorf("iter %d t=%d: query(%s) = %v, want %v", i, now, x, got, want)
+					}
+				}
+			}
+		})
+		sys.Run(nil)
+	}
+}

@@ -1,0 +1,142 @@
+// Package fd implements the paper's failure detector classes as
+// executable oracles, plus trace recorders and property checkers.
+//
+// # Oracles
+//
+// A failure detector class is defined by properties relating oracle
+// outputs to the run's failure pattern. Ground-truth oracles here consult
+// the pattern (they are omniscient about crashes) and a stabilization
+// time: before it, oracles of the eventual classes (◇S_x, Ω_z, ◇φ_y)
+// misbehave pseudo-randomly ("anarchy"); from it on, they obey their
+// class's accuracy/leadership/safety properties. Because the classes only
+// constrain behaviour *eventually*, such an oracle generates exactly the
+// runs the definitions admit — including hostile ones, where processes
+// outside the protected scope keep suspecting correct processes forever.
+//
+// # Reading oracles
+//
+// Each oracle serves all processes: the process id is an argument. This
+// lets transformation layers expose their *emulated* outputs through the
+// same interfaces, so constructions stack (◇S_x + ◇φ_y → Ω_z → k-set
+// agreement) exactly as in the paper.
+package fd
+
+import (
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// Suspector is the output interface of the classes S_x and ◇S_x: each
+// process p_i reads a set suspected_i of processes it currently suspects
+// to have crashed. A crashed process suspects no process.
+type Suspector interface {
+	Suspected(p ids.ProcID) ids.Set
+}
+
+// Leader is the output interface of the class Ω_z: each process p_i reads
+// a set trusted_i of at most z processes. Eventually all correct
+// processes read the same set, which contains at least one correct
+// process.
+type Leader interface {
+	Trusted(p ids.ProcID) ids.Set
+}
+
+// Querier is the output interface of the classes φ_y, ◇φ_y and Ψ_y:
+// process p invokes query(X) to ask whether the whole region X has
+// crashed.
+type Querier interface {
+	Query(p ids.ProcID, x ids.Set) bool
+}
+
+// Option configures an oracle.
+type Option func(*options)
+
+type options struct {
+	stabilizeAt sim.Time // anarchy before this tick; -1 = use system GST
+	epoch       sim.Time // anarchy values change every epoch ticks
+	anarchyRate float64  // probability of a spurious suspicion/answer
+	hostile     bool     // keep unprotected misbehaviour after stabilization
+	lag         sim.Time // crash-detection lag for φ liveness
+	leaderHint  ids.ProcID
+	scopeHint   ids.Set
+	trustedHint ids.Set
+	leaderSalt  uint64
+}
+
+func defaultOptions(sys *sim.System) options {
+	return options{
+		stabilizeAt: -1,
+		epoch:       16,
+		anarchyRate: 0.25,
+		hostile:     true,
+		lag:         0,
+	}
+}
+
+func (o options) stab(sys *sim.System) sim.Time {
+	if o.stabilizeAt >= 0 {
+		return o.stabilizeAt
+	}
+	return sys.GST()
+}
+
+// WithStabilizeAt overrides the oracle's stabilization time (default: the
+// system's GST). 0 yields a "perfect" oracle that behaves from the start.
+func WithStabilizeAt(t sim.Time) Option {
+	return func(o *options) { o.stabilizeAt = t }
+}
+
+// WithEpoch sets how many ticks an anarchy drawing stays stable.
+func WithEpoch(e sim.Time) Option {
+	return func(o *options) {
+		if e < 1 {
+			e = 1
+		}
+		o.epoch = e
+	}
+}
+
+// WithAnarchyRate sets the per-epoch probability of a spurious suspicion
+// (suspectors) or arbitrary answer (queriers) during anarchy.
+func WithAnarchyRate(r float64) Option {
+	return func(o *options) { o.anarchyRate = r }
+}
+
+// WithHostile controls whether misbehaviour outside the protected scope
+// continues after stabilization (default true: the strongest adversary
+// the class admits).
+func WithHostile(h bool) Option {
+	return func(o *options) { o.hostile = h }
+}
+
+// WithLag makes query answers (and crash suspicions) reflect crashes only
+// after the given detection delay. Legal: liveness/completeness are
+// eventual properties.
+func WithLag(lag sim.Time) Option {
+	return func(o *options) { o.lag = lag }
+}
+
+// WithLeader pins the correct process the accuracy/leadership property
+// protects (it must be correct in the run's pattern; validated at
+// construction).
+func WithLeader(p ids.ProcID) Option {
+	return func(o *options) { o.leaderHint = p }
+}
+
+// WithScope pins the protected set Q of an S_x/◇S_x oracle. Must have
+// exactly x members and contain the protected leader.
+func WithScope(q ids.Set) Option {
+	return func(o *options) { o.scopeHint = q }
+}
+
+// WithTrusted pins the final trusted set of an Ω_z oracle. Must have at
+// most z members and contain at least one correct process.
+func WithTrusted(s ids.Set) Option {
+	return func(o *options) { o.trustedHint = s }
+}
+
+// WithLeaderSalt varies the deterministic leader/scope drawing without
+// pinning it, so distinct oracles in one run protect different processes.
+func WithLeaderSalt(salt uint64) Option {
+	return func(o *options) { o.leaderSalt = salt }
+}

@@ -1,0 +1,442 @@
+package fd
+
+import (
+	"strings"
+	"testing"
+
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// probeRun builds a system with no protocol processes, lets setup install
+// oracles and an OnTick sampler, and runs the scheduler to MaxSteps.
+func probeRun(t *testing.T, cfg sim.Config, setup func(sys *sim.System)) {
+	t.Helper()
+	sys := sim.MustNew(cfg)
+	setup(sys)
+	sys.Run(nil)
+}
+
+func baseCfg(seed int64) sim.Config {
+	return sim.Config{
+		N: 6, T: 3, Seed: seed, MaxSteps: 3_000, GST: 1_000,
+		Crashes: map[ids.ProcID]sim.Time{2: 0, 5: 400},
+	}
+}
+
+func TestEvtSSatisfiesClass(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		for _, x := range []int{1, 3, 6} {
+			cfg := baseCfg(seed)
+			sys := sim.MustNew(cfg)
+			s := NewEvtS(sys, x)
+			tr := WatchSuspector(sys, s)
+			sys.Run(nil)
+			if err := tr.CheckSuspector(sys.Pattern(), x, false, 500); err != nil {
+				t.Errorf("seed=%d x=%d: %v", seed, x, err)
+			}
+		}
+	}
+}
+
+func TestSPerpetualSatisfiesClass(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		for _, x := range []int{2, 4} {
+			cfg := baseCfg(seed)
+			sys := sim.MustNew(cfg)
+			s := NewS(sys, x)
+			tr := WatchSuspector(sys, s)
+			sys.Run(nil)
+			// Perpetual accuracy must hold over the whole trace.
+			if err := tr.CheckSuspector(sys.Pattern(), x, true, 500); err != nil {
+				t.Errorf("seed=%d x=%d: %v", seed, x, err)
+			}
+		}
+	}
+}
+
+func TestSuspectorScopeAndLeader(t *testing.T) {
+	cfg := baseCfg(1)
+	sys := sim.MustNew(cfg)
+	s := NewEvtS(sys, 3, WithLeader(4), WithScope(ids.NewSet(1, 4, 6)))
+	if s.Leader() != 4 {
+		t.Errorf("Leader() = %v", s.Leader())
+	}
+	if !s.Scope().Equal(ids.NewSet(1, 4, 6)) {
+		t.Errorf("Scope() = %s", s.Scope())
+	}
+	if s.X() != 3 {
+		t.Errorf("X() = %d", s.X())
+	}
+}
+
+func TestSuspectorCrashedSuspectsNothing(t *testing.T) {
+	cfg := baseCfg(2)
+	probeRun(t, cfg, func(sys *sim.System) {
+		s := NewEvtS(sys, 2)
+		sys.OnTick(func(now sim.Time) {
+			if now > 500 { // p5 crashed at 400, p2 initially
+				if !s.Suspected(2).IsEmpty() || !s.Suspected(5).IsEmpty() {
+					t.Errorf("crashed process has non-empty suspected set at %d", now)
+				}
+			}
+		})
+	})
+}
+
+func TestSuspectorAnarchyBeforeGST(t *testing.T) {
+	// Before GST, some scope member must at some point suspect the
+	// protected leader (that is the point of ◇: anarchy first).
+	cfg := baseCfg(3)
+	sawAnarchy := false
+	probeRun(t, cfg, func(sys *sim.System) {
+		s := NewEvtS(sys, 6, WithAnarchyRate(0.5)) // scope = everyone
+		l := s.Leader()
+		sys.OnTick(func(now sim.Time) {
+			if now >= cfg.GST {
+				return
+			}
+			for p := 1; p <= cfg.N; p++ {
+				id := ids.ProcID(p)
+				if !sys.Pattern().Crashed(id, now) && s.Suspected(id).Contains(l) {
+					sawAnarchy = true
+				}
+			}
+		})
+	})
+	if !sawAnarchy {
+		t.Error("no pre-GST suspicion of the protected leader; anarchy not exercised")
+	}
+}
+
+func TestSuspectorPanics(t *testing.T) {
+	cfg := baseCfg(4)
+	sys := sim.MustNew(cfg)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"x too small", func() { NewEvtS(sys, 0) }},
+		{"x too big", func() { NewEvtS(sys, 7) }},
+		{"faulty leader", func() { NewEvtS(sys, 2, WithLeader(2)) }},
+		{"scope size", func() { NewEvtS(sys, 2, WithLeader(1), WithScope(ids.NewSet(1, 3, 4))) }},
+		{"leader not in scope", func() { NewEvtS(sys, 2, WithLeader(1), WithScope(ids.NewSet(3, 4))) }},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", c.name)
+				}
+			}()
+			c.fn()
+		}()
+	}
+}
+
+func TestOmegaSatisfiesClass(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		for _, z := range []int{1, 2, 4} {
+			cfg := baseCfg(seed)
+			sys := sim.MustNew(cfg)
+			w := NewOmega(sys, z)
+			tr := WatchLeader(sys, w)
+			sys.Run(nil)
+			if err := tr.CheckOmega(sys.Pattern(), z, 500); err != nil {
+				t.Errorf("seed=%d z=%d: %v", seed, z, err)
+			}
+			if w.Z() != z {
+				t.Errorf("Z() = %d", w.Z())
+			}
+			if !w.Final().Intersects(sys.Pattern().Correct()) {
+				t.Errorf("Final() = %s has no correct process", w.Final())
+			}
+		}
+	}
+}
+
+func TestOmegaPerfectFromStart(t *testing.T) {
+	cfg := baseCfg(6)
+	sys := sim.MustNew(cfg)
+	w := NewOmega(sys, 2, WithStabilizeAt(0))
+	tr := WatchLeader(sys, w)
+	sys.Run(nil)
+	// With stabilization at 0 the output never changes: exactly one
+	// sample per correct process.
+	sys.Pattern().Correct().ForEach(func(p ids.ProcID) bool {
+		if got := len(tr.Samples(p)); got != 1 {
+			t.Errorf("process %v has %d samples, want 1 (perfect oracle)", p, got)
+		}
+		return true
+	})
+}
+
+func TestOmegaPinnedTrusted(t *testing.T) {
+	cfg := baseCfg(7)
+	sys := sim.MustNew(cfg)
+	w := NewOmega(sys, 3, WithTrusted(ids.NewSet(2, 3))) // 3 is correct
+	if !w.Final().Equal(ids.NewSet(2, 3)) {
+		t.Errorf("Final() = %s", w.Final())
+	}
+	for _, fn := range []func(){
+		func() { NewOmega(sys, 1, WithTrusted(ids.NewSet(1, 3))) }, // too big
+		func() { NewOmega(sys, 2, WithTrusted(ids.NewSet(2, 5))) }, // no correct
+		func() { NewOmega(sys, 0) },                                // z range
+		func() { NewOmega(sys, 2, WithLeader(5)) },                 // faulty leader
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPhiTriviality(t *testing.T) {
+	cfg := baseCfg(8)
+	sys := sim.MustNew(cfg) // t = 3
+	for _, y := range []int{0, 1, 3} {
+		f := NewPhi(sys, y)
+		small := ids.FullSet(3 - y) // |X| = t−y ⇒ trivially true
+		if !small.IsEmpty() && !f.Query(1, small) {
+			t.Errorf("y=%d: query(%s) = false, want trivially true", y, small)
+		}
+		big := ids.FullSet(4) // |X| = t+1 ⇒ trivially false
+		if f.Query(1, big) {
+			t.Errorf("y=%d: query(%s) = true, want trivially false", y, big)
+		}
+		if f.Y() != y {
+			t.Errorf("Y() = %d", f.Y())
+		}
+	}
+}
+
+func TestPhiSafetyAndLiveness(t *testing.T) {
+	// t=3, y=2: informative region 1 < |X| ≤ 3.
+	cfg := sim.Config{
+		N: 6, T: 3, Seed: 9, MaxSteps: 2_000, GST: 0,
+		Crashes: map[ids.ProcID]sim.Time{2: 100, 5: 300},
+	}
+	probeRun(t, cfg, func(sys *sim.System) {
+		f := NewPhi(sys, 2)
+		region := ids.NewSet(2, 5)   // crashes fully at 300
+		withLive := ids.NewSet(2, 3) // 3 is correct
+		sys.OnTick(func(now sim.Time) {
+			if f.Query(1, withLive) {
+				t.Errorf("t=%d: query over live region returned true (safety)", now)
+			}
+			got := f.Query(4, region)
+			want := now >= 300
+			if got != want {
+				t.Errorf("t=%d: query(%s) = %v, want %v", now, region, got, want)
+			}
+		})
+	})
+}
+
+func TestPhiLag(t *testing.T) {
+	cfg := sim.Config{
+		N: 4, T: 2, Seed: 10, MaxSteps: 1_000, GST: 0,
+		Crashes: map[ids.ProcID]sim.Time{1: 100, 2: 100},
+	}
+	probeRun(t, cfg, func(sys *sim.System) {
+		f := NewPhi(sys, 1, WithLag(50))
+		region := ids.NewSet(1, 2)
+		sys.OnTick(func(now sim.Time) {
+			got := f.Query(3, region)
+			want := now >= 150
+			if got != want {
+				t.Errorf("t=%d: lagged query = %v, want %v", now, got, want)
+			}
+		})
+	})
+}
+
+func TestEvtPhiAnarchyThenSafety(t *testing.T) {
+	cfg := sim.Config{N: 6, T: 3, Seed: 11, MaxSteps: 4_000, GST: 2_000}
+	liveRegion := ids.NewSet(1, 2, 3)
+	sawLie := false
+	probeRun(t, cfg, func(sys *sim.System) {
+		f := NewEvtPhi(sys, 3)
+		sys.OnTick(func(now sim.Time) {
+			got := f.Query(4, liveRegion)
+			if now < cfg.GST && got {
+				sawLie = true // eventual safety violated early: allowed
+			}
+			if now >= cfg.GST && got {
+				t.Errorf("t=%d: post-GST query over live region returned true", now)
+			}
+		})
+	})
+	if !sawLie {
+		t.Error("◇φ never lied before GST; anarchy not exercised")
+	}
+}
+
+func TestPerfectDetectors(t *testing.T) {
+	cfg := sim.Config{
+		N: 5, T: 2, Seed: 12, MaxSteps: 1_000, GST: 500,
+		Crashes: map[ids.ProcID]sim.Time{4: 200},
+	}
+	probeRun(t, cfg, func(sys *sim.System) {
+		p := NewP(sys)
+		if p.Y() != 2 {
+			t.Errorf("P ≡ φ_t: Y() = %d, want %d", p.Y(), 2)
+		}
+		ep := NewEvtP(sys)
+		sys.OnTick(func(now sim.Time) {
+			// P: exact crash knowledge at every time for singleton sets.
+			got := p.Query(1, ids.NewSet(4))
+			if want := now >= 200; got != want {
+				t.Errorf("t=%d: P.query({4}) = %v, want %v", now, got, want)
+			}
+			if now >= cfg.GST {
+				if ep.Query(1, ids.NewSet(5)) {
+					t.Errorf("t=%d: ◇P claims correct process crashed post-GST", now)
+				}
+			}
+		})
+	})
+}
+
+func TestPhiYRangePanics(t *testing.T) {
+	sys := sim.MustNew(sim.Config{N: 4, T: 2, Seed: 1, MaxSteps: 10})
+	for _, y := range []int{-1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("y=%d: no panic", y)
+				}
+			}()
+			NewPhi(sys, y)
+		}()
+	}
+}
+
+func TestPsiContainmentContract(t *testing.T) {
+	sys := sim.MustNew(sim.Config{N: 5, T: 3, Seed: 13, MaxSteps: 10})
+	psi := WrapPsi(NewPhi(sys, 2))
+	// A chain is fine, queried out of size order and by several callers.
+	psi.Query(1, ids.NewSet(1, 2))
+	psi.Query(2, ids.NewSet(1))
+	psi.Query(3, ids.NewSet(1, 2, 3))
+	psi.Query(1, ids.NewSet(1, 2)) // repeat is fine
+	if got := psi.ChainLen(); got != 3 {
+		t.Errorf("ChainLen() = %d, want 3", got)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("incomparable query did not panic")
+		}
+		if !strings.Contains(r.(string), "containment") {
+			t.Errorf("panic message %q", r)
+		}
+	}()
+	psi.Query(2, ids.NewSet(2, 3)) // incomparable with {1}
+}
+
+func TestCheckOmegaRejectsViolations(t *testing.T) {
+	cfg := sim.Config{N: 3, T: 1, Seed: 14, MaxSteps: 500, GST: 0,
+		Crashes: map[ids.ProcID]sim.Time{3: 0}}
+	// A "leader" oracle that never agrees across processes.
+	bad := leaderFunc(func(p ids.ProcID) ids.Set { return ids.NewSet(p) })
+	sys := sim.MustNew(cfg)
+	tr := WatchLeader(sys, bad)
+	sys.Run(nil)
+	if err := tr.CheckOmega(sys.Pattern(), 1, 100); err == nil {
+		t.Error("CheckOmega accepted diverging trusted sets")
+	}
+
+	// An oracle trusting only the crashed process.
+	sys2 := sim.MustNew(cfg)
+	bad2 := leaderFunc(func(p ids.ProcID) ids.Set { return ids.NewSet(3) })
+	tr2 := WatchLeader(sys2, bad2)
+	sys2.Run(nil)
+	if err := tr2.CheckOmega(sys2.Pattern(), 1, 100); err == nil {
+		t.Error("CheckOmega accepted an all-faulty trusted set")
+	}
+
+	// Oversized set.
+	sys3 := sim.MustNew(cfg)
+	bad3 := leaderFunc(func(p ids.ProcID) ids.Set { return ids.NewSet(1, 2) })
+	tr3 := WatchLeader(sys3, bad3)
+	sys3.Run(nil)
+	if err := tr3.CheckOmega(sys3.Pattern(), 1, 100); err == nil {
+		t.Error("CheckOmega accepted |trusted| > z")
+	}
+	if err := tr3.CheckOmega(sys3.Pattern(), 2, 100); err != nil {
+		t.Errorf("CheckOmega rejected a legal Ω_2 trace: %v", err)
+	}
+}
+
+func TestCheckSuspectorRejectsViolations(t *testing.T) {
+	cfg := sim.Config{N: 3, T: 1, Seed: 15, MaxSteps: 500, GST: 0,
+		Crashes: map[ids.ProcID]sim.Time{3: 100}}
+	// Suspects every other process, always: completeness OK; accuracy
+	// fails at x=3 (some correct process would have to stop suspecting
+	// ℓ). At x=2 the trace is legal: Q = {ℓ, crashed p3} works, since a
+	// crashed process suspects nobody.
+	sys := sim.MustNew(cfg)
+	bad := suspectorFunc(func(p ids.ProcID) ids.Set { return ids.FullSet(3).Remove(p) })
+	tr := WatchSuspector(sys, bad)
+	sys.Run(nil)
+	if err := tr.CheckSuspector(sys.Pattern(), 3, false, 100); err == nil {
+		t.Error("CheckSuspector accepted an accuracy-free trace at x=3")
+	}
+	if err := tr.CheckSuspector(sys.Pattern(), 2, false, 100); err != nil {
+		t.Errorf("CheckSuspector rejected legal ◇S_2 trace: %v", err)
+	}
+	if err := tr.CheckSuspector(sys.Pattern(), 1, false, 100); err != nil {
+		t.Errorf("CheckSuspector rejected x=1: %v", err)
+	}
+
+	// Never suspects anyone: completeness violated.
+	sys2 := sim.MustNew(cfg)
+	bad2 := suspectorFunc(func(p ids.ProcID) ids.Set { return ids.EmptySet() })
+	tr2 := WatchSuspector(sys2, bad2)
+	sys2.Run(nil)
+	if err := tr2.CheckSuspector(sys2.Pattern(), 2, false, 100); err == nil {
+		t.Error("CheckSuspector accepted a completeness-free trace")
+	}
+}
+
+// leaderFunc/suspectorFunc adapt plain functions for checker tests.
+type leaderFunc func(ids.ProcID) ids.Set
+
+func (f leaderFunc) Trusted(p ids.ProcID) ids.Set { return f(p) }
+
+type suspectorFunc func(ids.ProcID) ids.Set
+
+func (f suspectorFunc) Suspected(p ids.ProcID) ids.Set { return f(p) }
+
+func TestStatelessRandHelpers(t *testing.T) {
+	if mix(1, 2) == mix(2, 1) {
+		t.Error("mix is order-insensitive; collisions likely")
+	}
+	if chance(0, 1) || !chance(1, 1) {
+		t.Error("chance boundary behaviour wrong")
+	}
+	a, b := setKey(ids.NewSet(1, 2)), setKey(ids.NewSet(1, 3))
+	if a == b {
+		t.Error("setKey collision on small sets")
+	}
+	if epochOf(-5, 16) != 0 {
+		t.Error("negative time epoch")
+	}
+	if epochOf(31, 16) != 1 || epochOf(32, 16) != 2 {
+		t.Error("epoch boundaries wrong")
+	}
+	got := pickDistinct(ids.NewSet(1), ids.FullSet(5), 2, 42)
+	if got.Size() != 3 || !got.Contains(1) {
+		t.Errorf("pickDistinct = %s", got)
+	}
+	// Requesting more than available saturates.
+	all := pickDistinct(ids.EmptySet(), ids.FullSet(3), 10, 7)
+	if all.Size() != 3 {
+		t.Errorf("pickDistinct saturation = %s", all)
+	}
+}

@@ -1,0 +1,70 @@
+package fd
+
+import (
+	"fmt"
+	"sync"
+
+	"fdgrid/internal/ids"
+)
+
+// Psi is an oracle of class Ψ_y: a φ_y (or ◇φ_y) whose users must keep
+// all query arguments ⊆-comparable — for any two queried sets X and X',
+// X ⊆ X' or X' ⊆ X, across all processes.
+//
+// The containment requirement is a contract on the *user* of the oracle,
+// not extra power of the oracle, so Psi wraps a Phi and enforces the
+// contract: a violating query panics with a diagnostic. The paper's
+// Appendix A transformation honours the contract; tests assert that a
+// violating caller is caught.
+type Psi struct {
+	*Phi
+
+	mu    sync.Mutex
+	chain []ids.Set // distinct queried sets, ordered by size
+}
+
+var _ Querier = (*Psi)(nil)
+
+// WrapPsi wraps a φ_y/◇φ_y oracle with the Ψ_y containment contract.
+func WrapPsi(inner *Phi) *Psi {
+	return &Psi{Phi: inner}
+}
+
+// Query implements Querier, enforcing the containment contract.
+func (f *Psi) Query(p ids.ProcID, x ids.Set) bool {
+	f.record(p, x)
+	return f.Phi.Query(p, x)
+}
+
+func (f *Psi) record(p ids.ProcID, x ids.Set) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, prev := range f.chain {
+		if prev.Equal(x) {
+			return
+		}
+		if !prev.SubsetOf(x) && !x.SubsetOf(prev) {
+			panic(fmt.Sprintf(
+				"fd: Ψ containment contract violated by %v: query %s incomparable with earlier query %s",
+				p, x, prev))
+		}
+	}
+	// Insert keeping the chain ordered by size.
+	at := len(f.chain)
+	for i, prev := range f.chain {
+		if x.Size() < prev.Size() {
+			at = i
+			break
+		}
+	}
+	f.chain = append(f.chain, ids.Set{})
+	copy(f.chain[at+1:], f.chain[at:])
+	f.chain[at] = x
+}
+
+// ChainLen reports how many distinct sets have been queried (tests).
+func (f *Psi) ChainLen() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.chain)
+}

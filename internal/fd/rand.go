@@ -1,0 +1,70 @@
+package fd
+
+import (
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// splitmix64 is the finalizer of the SplitMix64 generator; it is used to
+// derive stateless, deterministic pseudo-random values from run seed,
+// process ids, epochs and set contents, so oracle outputs are pure
+// functions of (time, arguments) and need no locking.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mix folds the keys into one 64-bit hash.
+func mix(keys ...uint64) uint64 {
+	h := uint64(0x243f6a8885a308d3)
+	for _, k := range keys {
+		h = splitmix64(h ^ k)
+	}
+	return h
+}
+
+// chance reports a pseudo-random event of probability rate, deterministic
+// in the keys.
+func chance(rate float64, keys ...uint64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	const scale = 1 << 53
+	v := mix(keys...) >> 11 // top 53 bits
+	return float64(v) < rate*scale
+}
+
+// epochOf buckets time into anarchy epochs.
+func epochOf(now, epoch sim.Time) uint64 {
+	if now < 0 {
+		return 0
+	}
+	return uint64(now / epoch)
+}
+
+// setKey folds a Set into a hash key.
+func setKey(s ids.Set) uint64 {
+	var k uint64
+	s.ForEach(func(p ids.ProcID) bool {
+		k = splitmix64(k ^ uint64(p))
+		return true
+	})
+	return k
+}
+
+// pickDistinct deterministically selects count members from pool
+// (excluding those already in chosen), returning chosen ∪ picks.
+func pickDistinct(chosen, pool ids.Set, count int, salt uint64) ids.Set {
+	members := pool.Minus(chosen).Members()
+	for i := 0; i < count && len(members) > 0; i++ {
+		j := int(mix(salt, uint64(i)) % uint64(len(members)))
+		chosen = chosen.Add(members[j])
+		members = append(members[:j], members[j+1:]...)
+	}
+	return chosen
+}

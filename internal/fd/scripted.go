@@ -1,0 +1,100 @@
+package fd
+
+import (
+	"sort"
+
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// LeaderStep is one segment of a scripted Ω timeline: from At onwards
+// (until the next step), every process reads Common unless PerProc
+// overrides it.
+type LeaderStep struct {
+	At      sim.Time
+	Common  ids.Set
+	PerProc map[ids.ProcID]ids.Set
+}
+
+// ScriptedLeader is a deterministic fd.Leader driven by an explicit
+// timeline — the tool for steering a protocol into a specific execution
+// path (e.g. the Fig. 3 wait "L_i ≠ trusted_i"). Whether a given script
+// belongs to Ω_z is the test author's responsibility; the class checkers
+// can verify it.
+type ScriptedLeader struct {
+	sys   *sim.System
+	steps []LeaderStep
+}
+
+var _ Leader = (*ScriptedLeader)(nil)
+
+// NewScriptedLeader builds a scripted oracle; steps are sorted by At.
+// There must be a step at time 0 (or earlier outputs read the empty set).
+func NewScriptedLeader(sys *sim.System, steps []LeaderStep) *ScriptedLeader {
+	sorted := append([]LeaderStep(nil), steps...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	return &ScriptedLeader{sys: sys, steps: sorted}
+}
+
+// Trusted implements Leader.
+func (s *ScriptedLeader) Trusted(p ids.ProcID) ids.Set {
+	now := s.sys.Now()
+	var cur *LeaderStep
+	for i := range s.steps {
+		if s.steps[i].At > now {
+			break
+		}
+		cur = &s.steps[i]
+	}
+	if cur == nil {
+		return ids.EmptySet()
+	}
+	if v, ok := cur.PerProc[p]; ok {
+		return v
+	}
+	return cur.Common
+}
+
+// SuspectStep is one segment of a scripted suspector timeline.
+type SuspectStep struct {
+	At      sim.Time
+	Common  ids.Set
+	PerProc map[ids.ProcID]ids.Set
+}
+
+// ScriptedSuspector is the Suspector twin of ScriptedLeader.
+type ScriptedSuspector struct {
+	sys   *sim.System
+	steps []SuspectStep
+}
+
+var _ Suspector = (*ScriptedSuspector)(nil)
+
+// NewScriptedSuspector builds a scripted suspector; steps are sorted by At.
+func NewScriptedSuspector(sys *sim.System, steps []SuspectStep) *ScriptedSuspector {
+	sorted := append([]SuspectStep(nil), steps...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	return &ScriptedSuspector{sys: sys, steps: sorted}
+}
+
+// Suspected implements Suspector. Crashed processes suspect nobody.
+func (s *ScriptedSuspector) Suspected(p ids.ProcID) ids.Set {
+	now := s.sys.Now()
+	if s.sys.Pattern().Crashed(p, now) {
+		return ids.EmptySet()
+	}
+	var cur *SuspectStep
+	for i := range s.steps {
+		if s.steps[i].At > now {
+			break
+		}
+		cur = &s.steps[i]
+	}
+	if cur == nil {
+		return ids.EmptySet()
+	}
+	if v, ok := cur.PerProc[p]; ok {
+		return v
+	}
+	return cur.Common
+}

@@ -1,0 +1,127 @@
+package fd
+
+import (
+	"fmt"
+
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// Suspect is a ground-truth oracle of class S_x (perpetual limited-scope
+// weak accuracy) or ◇S_x (eventual limited-scope weak accuracy), both
+// with strong completeness.
+//
+// The oracle draws a protected pair (leader ℓ, scope Q): ℓ is a correct
+// process, |Q| = x, ℓ ∈ Q, and the members of Q never suspect ℓ — from
+// the start for S_x, from the stabilization time for ◇S_x. Everything
+// else is adversarial: crashed processes are suspected (strong
+// completeness), and spurious suspicions of correct processes are drawn
+// pseudo-randomly, forever if the oracle is hostile.
+type Suspect struct {
+	sys       *sim.System
+	x         int
+	perpetual bool
+	opt       options
+	leader    ids.ProcID
+	scope     ids.Set
+}
+
+var _ Suspector = (*Suspect)(nil)
+
+// NewEvtS returns a ◇S_x oracle. It panics if x ∉ 1..n or if pinned
+// hints are inconsistent; oracle parameters are test/bench inputs.
+func NewEvtS(sys *sim.System, x int, opts ...Option) *Suspect {
+	return newSuspect(sys, x, false, opts)
+}
+
+// NewS returns an S_x oracle (perpetual accuracy).
+func NewS(sys *sim.System, x int, opts ...Option) *Suspect {
+	return newSuspect(sys, x, true, opts)
+}
+
+func newSuspect(sys *sim.System, x int, perpetual bool, opts []Option) *Suspect {
+	n := sys.Config().N
+	if x < 1 || x > n {
+		panic(fmt.Sprintf("fd: S_x with x=%d out of range 1..%d", x, n))
+	}
+	o := defaultOptions(sys)
+	for _, fn := range opts {
+		fn(&o)
+	}
+	s := &Suspect{sys: sys, x: x, perpetual: perpetual, opt: o}
+	s.leader, s.scope = drawScope(sys, x, o)
+	return s
+}
+
+// drawScope picks the protected leader and scope from hints or seed.
+func drawScope(sys *sim.System, x int, o options) (ids.ProcID, ids.Set) {
+	correct := sys.Pattern().Correct()
+	if correct.IsEmpty() {
+		panic("fd: no correct process in the failure pattern")
+	}
+	leader := o.leaderHint
+	if leader == ids.None {
+		members := correct.Members()
+		salt := mix(uint64(sys.Config().Seed), o.leaderSalt, 0x51)
+		leader = members[int(salt%uint64(len(members)))]
+	} else if sys.Pattern().CrashTime(leader) != sim.Never {
+		panic(fmt.Sprintf("fd: pinned leader %v is faulty in this pattern", leader))
+	}
+	scope := o.scopeHint
+	if scope.IsEmpty() {
+		salt := mix(uint64(sys.Config().Seed), o.leaderSalt, 0x52)
+		scope = pickDistinct(ids.NewSet(leader), ids.FullSet(sys.Config().N), x-1, salt)
+	} else {
+		if scope.Size() != x {
+			panic(fmt.Sprintf("fd: pinned scope %v has size %d, want x=%d", scope, scope.Size(), x))
+		}
+		if !scope.Contains(leader) {
+			panic(fmt.Sprintf("fd: pinned scope %v does not contain leader %v", scope, leader))
+		}
+	}
+	return leader, scope
+}
+
+// Leader returns the correct process the accuracy property protects.
+func (s *Suspect) Leader() ids.ProcID { return s.leader }
+
+// Scope returns the protected set Q (|Q| = x, Leader ∈ Q).
+func (s *Suspect) Scope() ids.Set { return s.scope }
+
+// X returns the accuracy scope parameter x.
+func (s *Suspect) X() int { return s.x }
+
+// Suspected returns suspected_p at the current time.
+func (s *Suspect) Suspected(p ids.ProcID) ids.Set {
+	now := s.sys.Now()
+	pat := s.sys.Pattern()
+	if pat.Crashed(p, now) {
+		return ids.EmptySet() // a crashed process suspects no process
+	}
+	n := s.sys.Config().N
+	stab := s.opt.stab(s.sys)
+	anarchy := now < stab || s.opt.hostile
+	epoch := epochOf(now, s.opt.epoch)
+	seed := uint64(s.sys.Config().Seed)
+
+	var out ids.Set
+	for q := 1; q <= n; q++ {
+		id := ids.ProcID(q)
+		if id == p {
+			continue // this oracle never self-suspects (a legal choice)
+		}
+		if pat.Crashed(id, now-s.opt.lag) {
+			out = out.Add(id) // strong completeness
+			continue
+		}
+		if anarchy && chance(s.opt.anarchyRate, seed, 0xa1, uint64(p), uint64(q), epoch, s.opt.leaderSalt) {
+			out = out.Add(id)
+		}
+	}
+	// Limited-scope accuracy: members of Q do not suspect the leader —
+	// always for S_x, after stabilization for ◇S_x.
+	if s.scope.Contains(p) && (s.perpetual || now >= stab) {
+		out = out.Remove(s.leader)
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package fd
+
+import (
+	"sync"
+
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// SetSample is one change point of a process's set-valued oracle output:
+// the output equals Value from At until the next sample's At.
+type SetSample struct {
+	At    sim.Time
+	Value ids.Set
+}
+
+// SetTrace records the set-valued outputs (suspected_i or trusted_i) of
+// an oracle over a run, change-compressed per process. Build one with
+// WatchLeader or WatchSuspector before System.Run; inspect it afterwards
+// with the Check* methods in check.go.
+type SetTrace struct {
+	mu      sync.Mutex
+	n       int
+	byProc  map[ids.ProcID][]SetSample
+	last    map[ids.ProcID]ids.Set
+	started map[ids.ProcID]bool
+	horizon sim.Time
+}
+
+func newSetTrace(n int) *SetTrace {
+	return &SetTrace{
+		n:       n,
+		byProc:  make(map[ids.ProcID][]SetSample, n),
+		last:    make(map[ids.ProcID]ids.Set, n),
+		started: make(map[ids.ProcID]bool, n),
+	}
+}
+
+// WatchLeader samples l.Trusted(p) for every process on every tick.
+func WatchLeader(sys *sim.System, l Leader) *SetTrace {
+	tr := newSetTrace(sys.Config().N)
+	sys.OnTick(func(now sim.Time) {
+		for p := 1; p <= tr.n; p++ {
+			id := ids.ProcID(p)
+			if sys.Pattern().Crashed(id, now) {
+				continue
+			}
+			tr.observe(id, now, l.Trusted(id))
+		}
+		tr.tick(now)
+	})
+	return tr
+}
+
+// WatchSuspector samples s.Suspected(p) for every process on every tick.
+func WatchSuspector(sys *sim.System, s Suspector) *SetTrace {
+	tr := newSetTrace(sys.Config().N)
+	sys.OnTick(func(now sim.Time) {
+		for p := 1; p <= tr.n; p++ {
+			id := ids.ProcID(p)
+			if sys.Pattern().Crashed(id, now) {
+				continue
+			}
+			tr.observe(id, now, s.Suspected(id))
+		}
+		tr.tick(now)
+	})
+	return tr
+}
+
+func (tr *SetTrace) observe(p ids.ProcID, now sim.Time, v ids.Set) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.started[p] && tr.last[p].Equal(v) {
+		return
+	}
+	tr.started[p] = true
+	tr.last[p] = v
+	tr.byProc[p] = append(tr.byProc[p], SetSample{At: now, Value: v})
+}
+
+func (tr *SetTrace) tick(now sim.Time) {
+	tr.mu.Lock()
+	tr.horizon = now
+	tr.mu.Unlock()
+}
+
+// StableFor returns a stop predicate for System.Run: it fires once every
+// process of procs has been sampled at least once and no sampled output
+// has changed during the last margin ticks. Pick margin larger than the
+// run's GST and last crash time so the observed stability covers a
+// genuinely post-stabilization window.
+func (tr *SetTrace) StableFor(procs ids.Set, margin sim.Time) func() bool {
+	return func() bool {
+		tr.mu.Lock()
+		defer tr.mu.Unlock()
+		stable := true
+		procs.ForEach(func(p ids.ProcID) bool {
+			if !tr.started[p] {
+				stable = false
+				return false
+			}
+			ss := tr.byProc[p]
+			if len(ss) > 0 && tr.horizon-ss[len(ss)-1].At < margin {
+				stable = false
+				return false
+			}
+			return true
+		})
+		return stable
+	}
+}
+
+// Horizon returns the last sampled tick.
+func (tr *SetTrace) Horizon() sim.Time {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.horizon
+}
+
+// Samples returns the recorded change points of process p.
+func (tr *SetTrace) Samples(p ids.ProcID) []SetSample {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]SetSample(nil), tr.byProc[p]...)
+}
+
+// FinalValue returns the last recorded output of p and whether p was ever
+// sampled.
+func (tr *SetTrace) FinalValue(p ids.ProcID) (ids.Set, bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	s, ok := tr.last[p]
+	return s, ok && tr.started[p]
+}
+
+// LastChange returns the time of p's last output change (0 if never
+// sampled).
+func (tr *SetTrace) LastChange(p ids.ProcID) sim.Time {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	ss := tr.byProc[p]
+	if len(ss) == 0 {
+		return 0
+	}
+	return ss[len(ss)-1].At
+}
+
+// lastTimeContaining returns the last tick at which p's output contained
+// q, or -1 if it never did. If the final output contains q it returns the
+// horizon.
+func (tr *SetTrace) lastTimeContaining(p, q ids.ProcID) sim.Time {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	ss := tr.byProc[p]
+	last := sim.Time(-1)
+	for i, s := range ss {
+		if !s.Value.Contains(q) {
+			continue
+		}
+		if i+1 < len(ss) {
+			last = ss[i+1].At
+		} else {
+			last = tr.horizon
+		}
+	}
+	return last
+}
+
+// everContained reports whether p's output ever contained q.
+func (tr *SetTrace) everContained(p, q ids.ProcID) bool {
+	return tr.lastTimeContaining(p, q) >= 0
+}
+
+// stableSuffixStart returns the earliest time τ such that for every
+// process in procs, all samples at or after τ satisfy pred... kept
+// simple: it returns the latest "last violation end" over procs for the
+// given per-sample predicate.
+func (tr *SetTrace) lastViolation(procs ids.Set, ok func(p ids.ProcID, v ids.Set) bool) sim.Time {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	worst := sim.Time(-1)
+	procs.ForEach(func(p ids.ProcID) bool {
+		ss := tr.byProc[p]
+		for i, s := range ss {
+			if ok(p, s.Value) {
+				continue
+			}
+			end := tr.horizon
+			if i+1 < len(ss) {
+				end = ss[i+1].At
+			}
+			if end > worst {
+				worst = end
+			}
+		}
+		return true
+	})
+	return worst
+}

@@ -1,0 +1,195 @@
+// Package ids provides process identities and identity sets for the
+// failure-detector simulations.
+//
+// Processes are numbered 1..n as in the paper. Sets are bit sets capped at
+// 64 members, which is far beyond the scale the simulations run at
+// (n ≤ 16) while keeping set algebra allocation-free.
+package ids
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// MaxProcs is the largest number of processes a Set can hold.
+const MaxProcs = 64
+
+// ProcID identifies a process. Valid IDs are 1..n; 0 is "no process".
+type ProcID int
+
+// None is the zero ProcID, meaning "no process".
+const None ProcID = 0
+
+// String implements fmt.Stringer.
+func (p ProcID) String() string {
+	if p == None {
+		return "p∅"
+	}
+	return fmt.Sprintf("p%d", int(p))
+}
+
+// Set is an immutable-by-convention bit set of process identities.
+// The zero value is the empty set and is ready to use.
+type Set struct {
+	bits uint64
+}
+
+// EmptySet returns the empty set. Equivalent to Set{} but reads better.
+func EmptySet() Set { return Set{} }
+
+// NewSet builds a set from the given identities.
+// It panics if an identity is outside 1..MaxProcs; identities are trusted
+// inputs produced by the simulation, not external data.
+func NewSet(members ...ProcID) Set {
+	var s Set
+	for _, p := range members {
+		s = s.Add(p)
+	}
+	return s
+}
+
+// FullSet returns {1..n}.
+func FullSet(n int) Set {
+	if n < 0 || n > MaxProcs {
+		panic(fmt.Sprintf("ids: FullSet(%d) out of range", n))
+	}
+	if n == 0 {
+		return Set{}
+	}
+	if n == MaxProcs {
+		return Set{bits: ^uint64(0)}
+	}
+	return Set{bits: (uint64(1) << n) - 1}
+}
+
+func checkID(p ProcID) {
+	if p < 1 || int(p) > MaxProcs {
+		panic(fmt.Sprintf("ids: process id %d out of range 1..%d", int(p), MaxProcs))
+	}
+}
+
+// Add returns s ∪ {p}.
+func (s Set) Add(p ProcID) Set {
+	checkID(p)
+	return Set{bits: s.bits | 1<<(uint(p)-1)}
+}
+
+// Remove returns s ∖ {p}.
+func (s Set) Remove(p ProcID) Set {
+	checkID(p)
+	return Set{bits: s.bits &^ (1 << (uint(p) - 1))}
+}
+
+// Contains reports whether p ∈ s.
+func (s Set) Contains(p ProcID) bool {
+	if p < 1 || int(p) > MaxProcs {
+		return false
+	}
+	return s.bits&(1<<(uint(p)-1)) != 0
+}
+
+// Size returns |s|.
+func (s Set) Size() int { return bits.OnesCount64(s.bits) }
+
+// IsEmpty reports whether s = ∅.
+func (s Set) IsEmpty() bool { return s.bits == 0 }
+
+// Union returns s ∪ o.
+func (s Set) Union(o Set) Set { return Set{bits: s.bits | o.bits} }
+
+// Intersect returns s ∩ o.
+func (s Set) Intersect(o Set) Set { return Set{bits: s.bits & o.bits} }
+
+// Minus returns s ∖ o.
+func (s Set) Minus(o Set) Set { return Set{bits: s.bits &^ o.bits} }
+
+// Equal reports whether s = o.
+func (s Set) Equal(o Set) bool { return s.bits == o.bits }
+
+// SubsetOf reports whether s ⊆ o.
+func (s Set) SubsetOf(o Set) bool { return s.bits&^o.bits == 0 }
+
+// Intersects reports whether s ∩ o ≠ ∅.
+func (s Set) Intersects(o Set) bool { return s.bits&o.bits != 0 }
+
+// Min returns the smallest identity in s, or None if s is empty.
+func (s Set) Min() ProcID {
+	if s.bits == 0 {
+		return None
+	}
+	return ProcID(bits.TrailingZeros64(s.bits) + 1)
+}
+
+// Max returns the largest identity in s, or None if s is empty.
+func (s Set) Max() ProcID {
+	if s.bits == 0 {
+		return None
+	}
+	return ProcID(64 - bits.LeadingZeros64(s.bits))
+}
+
+// Members returns the identities in ascending order.
+func (s Set) Members() []ProcID {
+	out := make([]ProcID, 0, s.Size())
+	b := s.bits
+	for b != 0 {
+		i := bits.TrailingZeros64(b)
+		out = append(out, ProcID(i+1))
+		b &^= 1 << uint(i)
+	}
+	return out
+}
+
+// ForEach calls fn on each member in ascending order until fn returns
+// false or the set is exhausted.
+func (s Set) ForEach(fn func(ProcID) bool) {
+	b := s.bits
+	for b != 0 {
+		i := bits.TrailingZeros64(b)
+		if !fn(ProcID(i + 1)) {
+			return
+		}
+		b &^= 1 << uint(i)
+	}
+}
+
+// Nth returns the i-th smallest member (0-based), or None if i is out of
+// range.
+func (s Set) Nth(i int) ProcID {
+	if i < 0 || i >= s.Size() {
+		return None
+	}
+	b := s.bits
+	for ; i > 0; i-- {
+		b &^= 1 << uint(bits.TrailingZeros64(b))
+	}
+	return ProcID(bits.TrailingZeros64(b) + 1)
+}
+
+// Index returns the 0-based rank of p within s (position in ascending
+// order), or -1 if p ∉ s.
+func (s Set) Index(p ProcID) int {
+	if !s.Contains(p) {
+		return -1
+	}
+	mask := uint64(1)<<(uint(p)-1) - 1
+	return bits.OnesCount64(s.bits & mask)
+}
+
+// String renders the set as {p1,p3,...}.
+func (s Set) String() string {
+	members := s.Members()
+	parts := make([]string, len(members))
+	for i, p := range members {
+		parts[i] = fmt.Sprintf("%d", int(p))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// SortIDs sorts a slice of process identities in place and returns it.
+func SortIDs(ps []ProcID) []ProcID {
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	return ps
+}

@@ -1,0 +1,187 @@
+package ids
+
+import "fmt"
+
+// Binomial returns C(n, k). It panics on overflow or invalid arguments;
+// the simulations only use n ≤ MaxProcs with small k, far below overflow.
+func Binomial(n, k int) uint64 {
+	if k < 0 || n < 0 || k > n {
+		panic(fmt.Sprintf("ids: Binomial(%d,%d) invalid", n, k))
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var c uint64 = 1
+	for i := 1; i <= k; i++ {
+		next := c * uint64(n-k+i)
+		if c != 0 && next/c != uint64(n-k+i) {
+			panic(fmt.Sprintf("ids: Binomial(%d,%d) overflows uint64", n, k))
+		}
+		c = next / uint64(i)
+	}
+	return c
+}
+
+// Ring enumerates the k-subsets of a ground set in lexicographic order,
+// cyclically. All processes construct the same Ring, so they scan the same
+// sequence (paper §4.1: "This sequence is assumed to be initially known by
+// all the processes").
+type Ring struct {
+	ground  []ProcID // ascending members of the ground set
+	k       int
+	idx     []int // current combination: ascending indices into ground
+	current Set
+}
+
+// NewRing returns a ring over the k-subsets of ground, positioned at the
+// lexicographically first subset. It panics if k is not in 1..|ground|.
+func NewRing(ground Set, k int) *Ring {
+	m := ground.Size()
+	if k < 1 || k > m {
+		panic(fmt.Sprintf("ids: NewRing k=%d out of range 1..%d", k, m))
+	}
+	r := &Ring{ground: ground.Members(), k: k, idx: make([]int, k)}
+	r.reset()
+	return r
+}
+
+func (r *Ring) reset() {
+	for i := range r.idx {
+		r.idx[i] = i
+	}
+	r.recompute()
+}
+
+func (r *Ring) recompute() {
+	var s Set
+	for _, i := range r.idx {
+		s = s.Add(r.ground[i])
+	}
+	r.current = s
+}
+
+// Current returns the subset at the ring's current position.
+func (r *Ring) Current() Set { return r.current }
+
+// K returns the subset size the ring enumerates.
+func (r *Ring) K() int { return r.k }
+
+// Len returns the number of positions in the ring, C(|ground|, k).
+func (r *Ring) Len() uint64 { return Binomial(len(r.ground), r.k) }
+
+// Next advances to the lexicographic successor and reports whether the
+// ring wrapped past the last subset back to the first.
+func (r *Ring) Next() (wrapped bool) {
+	m := len(r.ground)
+	// Find the rightmost index that can be incremented.
+	i := r.k - 1
+	for i >= 0 && r.idx[i] == m-r.k+i {
+		i--
+	}
+	if i < 0 {
+		r.reset()
+		return true
+	}
+	r.idx[i]++
+	for j := i + 1; j < r.k; j++ {
+		r.idx[j] = r.idx[j-1] + 1
+	}
+	r.recompute()
+	return false
+}
+
+// XPos is a position of the lower wheel's ring (paper Fig. 4): a candidate
+// representative Leader within the candidate set X.
+type XPos struct {
+	Leader ProcID
+	X      Set
+}
+
+// String implements fmt.Stringer.
+func (p XPos) String() string { return fmt.Sprintf("(l=%d, X=%s)", int(p.Leader), p.X) }
+
+// XRing is the lower wheel's infinite sequence
+// l¹₁,…,l¹ₓ, l²₁,…,l²ₓ, … over all x-subsets X[1..nb_x] of {1..n},
+// wrapping around (paper Fig. 4).
+type XRing struct {
+	ring *Ring
+	j    int // 0-based index of the leader within the current subset
+}
+
+// NewXRing returns the ring of (leader, X) pairs over x-subsets of {1..n},
+// positioned at (l¹₁, X[1]).
+func NewXRing(n, x int) *XRing {
+	return &XRing{ring: NewRing(FullSet(n), x)}
+}
+
+// Current returns the current (leader, X) position.
+func (r *XRing) Current() XPos {
+	x := r.ring.Current()
+	return XPos{Leader: x.Nth(r.j), X: x}
+}
+
+// Next advances one position: next member of the current set, or the first
+// member of the next set (paper's Next function).
+func (r *XRing) Next() {
+	r.j++
+	if r.j >= r.ring.K() {
+		r.j = 0
+		r.ring.Next()
+	}
+}
+
+// Len returns the number of (leader, X) positions: x · C(n, x).
+func (r *XRing) Len() uint64 { return uint64(r.ring.K()) * r.ring.Len() }
+
+// LYPos is a position of the upper wheel's ring: a candidate leader set L
+// (the Ω_z output candidate) within the candidate crash region Y.
+type LYPos struct {
+	L Set // |L| = z, L ⊆ Y
+	Y Set // |Y| = t−y+1
+}
+
+// String implements fmt.Stringer.
+func (p LYPos) String() string { return fmt.Sprintf("(L=%s, Y=%s)", p.L, p.Y) }
+
+// LYRing is the upper wheel's infinite sequence
+// L¹₁,…,L¹_nbL, L²₁,…  (paper §4.2.1): Y ranges over the ySize-subsets of
+// {1..n}; for each Y, L ranges over the lSize-subsets of Y.
+type LYRing struct {
+	lSize int
+	outer *Ring // Y over {1..n}
+	inner *Ring // L over the current Y
+}
+
+// NewLYRing returns the ring of (L, Y) pairs, positioned at the first pair.
+// It panics unless 1 ≤ lSize ≤ ySize ≤ n.
+func NewLYRing(n, ySize, lSize int) *LYRing {
+	if ySize < 1 || ySize > n || lSize < 1 || lSize > ySize {
+		panic(fmt.Sprintf("ids: NewLYRing(n=%d, ySize=%d, lSize=%d) invalid", n, ySize, lSize))
+	}
+	outer := NewRing(FullSet(n), ySize)
+	return &LYRing{
+		lSize: lSize,
+		outer: outer,
+		inner: NewRing(outer.Current(), lSize),
+	}
+}
+
+// Current returns the current (L, Y) position.
+func (r *LYRing) Current() LYPos {
+	return LYPos{L: r.inner.Current(), Y: r.outer.Current()}
+}
+
+// Next advances one position: next L within the current Y, or the first L
+// of the next Y (paper's Next function on (L, Y) pairs).
+func (r *LYRing) Next() {
+	if r.inner.Next() {
+		r.outer.Next()
+		r.inner = NewRing(r.outer.Current(), r.lSize)
+	}
+}
+
+// Len returns the number of (L, Y) positions:
+// C(n, ySize) · C(ySize, lSize).
+func (r *LYRing) Len() uint64 {
+	return r.outer.Len() * Binomial(r.outer.K(), r.lSize)
+}

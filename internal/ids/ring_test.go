@@ -1,0 +1,221 @@
+package ids
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want uint64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {9, 4, 126},
+		{16, 8, 12870}, {20, 10, 184756}, {64, 1, 64},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialPanics(t *testing.T) {
+	for _, c := range [][2]int{{-1, 0}, {3, 4}, {3, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Binomial(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			Binomial(c[0], c[1])
+		}()
+	}
+}
+
+func TestRingEnumeratesAllSubsetsOnce(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{4, 2}, {5, 3}, {6, 1}, {6, 6}, {7, 4}} {
+		r := NewRing(FullSet(tc.n), tc.k)
+		seen := map[Set]bool{}
+		count := int(r.Len())
+		for i := 0; i < count; i++ {
+			cur := r.Current()
+			if cur.Size() != tc.k {
+				t.Fatalf("n=%d k=%d: subset %s has size %d", tc.n, tc.k, cur, cur.Size())
+			}
+			if seen[cur] {
+				t.Fatalf("n=%d k=%d: subset %s repeated", tc.n, tc.k, cur)
+			}
+			seen[cur] = true
+			r.Next()
+		}
+		if len(seen) != count {
+			t.Fatalf("n=%d k=%d: enumerated %d distinct, want %d", tc.n, tc.k, len(seen), count)
+		}
+		// After Len() steps the ring is back at the first subset.
+		first := NewRing(FullSet(tc.n), tc.k).Current()
+		if !r.Current().Equal(first) {
+			t.Fatalf("n=%d k=%d: ring did not wrap to %s, at %s", tc.n, tc.k, first, r.Current())
+		}
+	}
+}
+
+func TestRingLexOrder(t *testing.T) {
+	r := NewRing(FullSet(4), 2)
+	want := []Set{
+		NewSet(1, 2), NewSet(1, 3), NewSet(1, 4),
+		NewSet(2, 3), NewSet(2, 4), NewSet(3, 4),
+	}
+	for i, w := range want {
+		if !r.Current().Equal(w) {
+			t.Fatalf("position %d = %s, want %s", i, r.Current(), w)
+		}
+		wrapped := r.Next()
+		if wrapped != (i == len(want)-1) {
+			t.Fatalf("position %d: wrapped = %v", i, wrapped)
+		}
+	}
+}
+
+func TestRingOverSubsetGround(t *testing.T) {
+	ground := NewSet(2, 5, 7)
+	r := NewRing(ground, 2)
+	want := []Set{NewSet(2, 5), NewSet(2, 7), NewSet(5, 7)}
+	for i, w := range want {
+		if !r.Current().Equal(w) {
+			t.Fatalf("position %d = %s, want %s", i, r.Current(), w)
+		}
+		r.Next()
+	}
+	if !r.Current().Equal(want[0]) {
+		t.Fatalf("did not wrap, at %s", r.Current())
+	}
+}
+
+func TestNewRingPanics(t *testing.T) {
+	for _, k := range []int{0, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRing(k=%d) did not panic", k)
+				}
+			}()
+			NewRing(FullSet(3), k)
+		}()
+	}
+}
+
+func TestXRingSequence(t *testing.T) {
+	// n=3, x=2: X[1]={1,2}, X[2]={1,3}, X[3]={2,3}; leaders in order.
+	r := NewXRing(3, 2)
+	want := []XPos{
+		{1, NewSet(1, 2)}, {2, NewSet(1, 2)},
+		{1, NewSet(1, 3)}, {3, NewSet(1, 3)},
+		{2, NewSet(2, 3)}, {3, NewSet(2, 3)},
+	}
+	if got := r.Len(); got != uint64(len(want)) {
+		t.Fatalf("Len() = %d, want %d", got, len(want))
+	}
+	for lap := 0; lap < 2; lap++ {
+		for i, w := range want {
+			got := r.Current()
+			if got.Leader != w.Leader || !got.X.Equal(w.X) {
+				t.Fatalf("lap %d position %d = %s, want %s", lap, i, got, w)
+			}
+			r.Next()
+		}
+	}
+}
+
+func TestXRingLeaderAlwaysMember(t *testing.T) {
+	law := func(nRaw, xRaw uint8) bool {
+		n := int(nRaw%8) + 2 // 2..9
+		x := int(xRaw)%n + 1 // 1..n
+		r := NewXRing(n, x)
+		steps := int(r.Len()) + 3
+		for i := 0; i < steps; i++ {
+			cur := r.Current()
+			if !cur.X.Contains(cur.Leader) || cur.X.Size() != x {
+				return false
+			}
+			r.Next()
+		}
+		return true
+	}
+	if err := quick.Check(law, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLYRingSequence(t *testing.T) {
+	// n=4, |Y|=3, |L|=2: for each of the 4 Y sets, 3 L subsets.
+	r := NewLYRing(4, 3, 2)
+	if got := r.Len(); got != 12 {
+		t.Fatalf("Len() = %d, want 12", got)
+	}
+	seen := map[LYPos]bool{}
+	for i := 0; i < 12; i++ {
+		cur := r.Current()
+		if cur.Y.Size() != 3 || cur.L.Size() != 2 {
+			t.Fatalf("position %d: sizes wrong: %s", i, cur)
+		}
+		if !cur.L.SubsetOf(cur.Y) {
+			t.Fatalf("position %d: L ⊄ Y: %s", i, cur)
+		}
+		if seen[cur] {
+			t.Fatalf("position %d repeated: %s", i, cur)
+		}
+		seen[cur] = true
+		r.Next()
+	}
+	first := NewLYRing(4, 3, 2).Current()
+	got := r.Current()
+	if !got.L.Equal(first.L) || !got.Y.Equal(first.Y) {
+		t.Fatalf("did not wrap to %s, at %s", first, got)
+	}
+}
+
+func TestLYRingContainmentProperty(t *testing.T) {
+	law := func(seed uint8) bool {
+		n := int(seed%5) + 3 // 3..7
+		ySize := n - 1
+		lSize := (int(seed) % ySize) + 1
+		r := NewLYRing(n, ySize, lSize)
+		steps := 50
+		for i := 0; i < steps; i++ {
+			cur := r.Current()
+			if !cur.L.SubsetOf(cur.Y) || cur.L.Size() != lSize || cur.Y.Size() != ySize {
+				return false
+			}
+			r.Next()
+		}
+		return true
+	}
+	if err := quick.Check(law, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewLYRingPanics(t *testing.T) {
+	for _, c := range [][3]int{{4, 5, 1}, {4, 0, 1}, {4, 3, 4}, {4, 3, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLYRing(%v) did not panic", c)
+				}
+			}()
+			NewLYRing(c[0], c[1], c[2])
+		}()
+	}
+}
+
+func TestXPosString(t *testing.T) {
+	p := XPos{Leader: 2, X: NewSet(1, 2)}
+	if got := p.String(); got == "" {
+		t.Error("XPos.String() empty")
+	}
+	q := LYPos{L: NewSet(1), Y: NewSet(1, 2)}
+	if got := q.String(); got == "" {
+		t.Error("LYPos.String() empty")
+	}
+}

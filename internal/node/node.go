@@ -1,0 +1,88 @@
+// Package node hosts a stack of protocol layers on one simulated process.
+//
+// The paper composes algorithms: a transformation (e.g. the two wheels)
+// runs underneath an agreement protocol and feeds it an emulated failure
+// detector. On a Node, lower layers intercept the raw message stream —
+// consuming their own protocol messages, relaying reliable broadcasts —
+// while the top-level protocol drives the event loop in blocking style
+// (Step / WaitUntil). Every step also gives each layer a Poll call, which
+// is where the layers' autonomous tasks ("repeat forever" in the paper's
+// pseudo-code) make progress.
+package node
+
+import (
+	"fdgrid/internal/sim"
+)
+
+// Layer is one protocol layer in the stack.
+//
+// Layers run entirely on the owning process's goroutine; they need
+// internal locking only if they expose state to other goroutines (e.g.
+// emulated failure detector outputs read by samplers).
+type Layer interface {
+	// Handle inspects one message coming up the stack. It returns the
+	// (possibly rewritten) message and true to pass it further up, or
+	// false to consume it.
+	Handle(m sim.Message) (sim.Message, bool)
+	// Poll runs the layer's autonomous tasks. It is called at least once
+	// per event-loop step (message or tick).
+	Poll()
+}
+
+// Node is one process's protocol stack.
+type Node struct {
+	env    *sim.Env
+	layers []Layer // bottom (closest to the network) first
+}
+
+// New assembles a stack over env; layers are ordered bottom-up.
+func New(env *sim.Env, layers ...Layer) *Node {
+	return &Node{env: env, layers: layers}
+}
+
+// Env returns the process environment.
+func (nd *Node) Env() *sim.Env { return nd.env }
+
+// Push appends a layer on top of the stack.
+func (nd *Node) Push(l Layer) { nd.layers = append(nd.layers, l) }
+
+// Step advances the event loop once: it blocks for the next message or
+// tick, lets every layer poll, and filters a received message up the
+// stack. It returns (msg, true) if a message survived to the top, and
+// (Message{}, false) on ticks or consumed messages.
+func (nd *Node) Step() (sim.Message, bool) {
+	m, ok := nd.env.Step()
+	if ok {
+		for _, l := range nd.layers {
+			m, ok = l.Handle(m)
+			if !ok {
+				break
+			}
+		}
+	}
+	for _, l := range nd.layers {
+		l.Poll()
+	}
+	return m, ok
+}
+
+// WaitUntil runs the event loop until pred() holds, feeding surviving
+// messages to onMsg (may be nil). pred is evaluated before the first step
+// and after every step.
+func (nd *Node) WaitUntil(pred func() bool, onMsg func(sim.Message)) {
+	for !pred() {
+		m, ok := nd.Step()
+		if ok && onMsg != nil {
+			onMsg(m)
+		}
+	}
+}
+
+// RunForever drives the event loop until the process is crashed or the
+// run stops (the Env unwinds the goroutine). Used by transformation-only
+// processes that have no top-level protocol.
+func (nd *Node) RunForever() {
+	for {
+		nd.Step()
+	}
+}

@@ -1,0 +1,179 @@
+package node
+
+import (
+	"sync"
+	"testing"
+
+	"fdgrid/internal/sim"
+)
+
+// countingLayer records Handle/Poll calls and optionally consumes or
+// rewrites messages.
+type countingLayer struct {
+	mu      sync.Mutex
+	handled int
+	polled  int
+	consume func(m sim.Message) bool
+	rewrite func(m sim.Message) sim.Message
+}
+
+func (l *countingLayer) Handle(m sim.Message) (sim.Message, bool) {
+	l.mu.Lock()
+	l.handled++
+	l.mu.Unlock()
+	if l.consume != nil && l.consume(m) {
+		return sim.Message{}, false
+	}
+	if l.rewrite != nil {
+		m = l.rewrite(m)
+	}
+	return m, true
+}
+
+func (l *countingLayer) Poll() {
+	l.mu.Lock()
+	l.polled++
+	l.mu.Unlock()
+}
+
+func (l *countingLayer) counts() (int, int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.handled, l.polled
+}
+
+func TestStackFiltersBottomUp(t *testing.T) {
+	sys := sim.MustNew(sim.Config{N: 2, T: 0, Seed: 1, MaxSteps: 50_000})
+	bottom := &countingLayer{consume: func(m sim.Message) bool { return m.Tag == "eat" }}
+	top := &countingLayer{rewrite: func(m sim.Message) sim.Message {
+		m.Tag = "rewritten:" + m.Tag
+		return m
+	}}
+	var mu sync.Mutex
+	var got []string
+	sys.Spawn(1, func(env *sim.Env) {
+		env.Send(2, "eat", nil)
+		env.Send(2, "pass", nil)
+		env.Send(2, "pass2", nil)
+		for {
+			env.Step()
+		}
+	})
+	sys.Spawn(2, func(env *sim.Env) {
+		nd := New(env, bottom, top)
+		for {
+			m, ok := nd.Step()
+			if ok {
+				mu.Lock()
+				got = append(got, m.Tag)
+				mu.Unlock()
+			}
+		}
+	})
+	sys.Run(func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 2
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("top level saw %v", got)
+	}
+	for _, tag := range got {
+		if tag != "rewritten:pass" && tag != "rewritten:pass2" {
+			t.Errorf("unexpected tag %q", tag)
+		}
+	}
+	h, p := bottom.counts()
+	if h != 3 {
+		t.Errorf("bottom handled %d messages, want 3", h)
+	}
+	if p == 0 {
+		t.Error("bottom never polled")
+	}
+	// The consumed message must not reach the top layer's Handle.
+	hTop, _ := top.counts()
+	if hTop != 2 {
+		t.Errorf("top handled %d, want 2", hTop)
+	}
+}
+
+func TestPollRunsOnTicksToo(t *testing.T) {
+	sys := sim.MustNew(sim.Config{N: 1, T: 0, Seed: 2, MaxSteps: 500})
+	layer := &countingLayer{}
+	sys.Spawn(1, func(env *sim.Env) {
+		nd := New(env, layer)
+		nd.RunForever()
+	})
+	sys.Run(nil)
+	if _, p := layer.counts(); p < 100 {
+		t.Errorf("layer polled only %d times over 500 ticks", p)
+	}
+}
+
+func TestWaitUntilImmediate(t *testing.T) {
+	sys := sim.MustNew(sim.Config{N: 1, T: 0, Seed: 3, MaxSteps: 2_000})
+	done := false
+	var mu sync.Mutex
+	sys.Spawn(1, func(env *sim.Env) {
+		nd := New(env)
+		nd.WaitUntil(func() bool { return true }, nil) // returns without stepping
+		mu.Lock()
+		done = true
+		mu.Unlock()
+		nd.RunForever()
+	})
+	sys.Run(func() bool { mu.Lock(); defer mu.Unlock(); return done })
+	mu.Lock()
+	defer mu.Unlock()
+	if !done {
+		t.Fatal("WaitUntil with true predicate did not return")
+	}
+}
+
+func TestPushAddsLayer(t *testing.T) {
+	sys := sim.MustNew(sim.Config{N: 2, T: 0, Seed: 4, MaxSteps: 50_000})
+	late := &countingLayer{consume: func(sim.Message) bool { return true }}
+	var sawAny bool
+	var mu sync.Mutex
+	var started bool
+	sys.Spawn(1, func(env *sim.Env) {
+		mu.Lock()
+		started = true
+		mu.Unlock()
+		env.Send(2, "x", nil)
+		for {
+			env.Step()
+		}
+	})
+	sys.Spawn(2, func(env *sim.Env) {
+		nd := New(env)
+		nd.Push(late)
+		if nd.Env() != env {
+			t.Error("Env() mismatch")
+		}
+		for {
+			m, ok := nd.Step()
+			if ok && m.Tag == "x" {
+				mu.Lock()
+				sawAny = true
+				mu.Unlock()
+			}
+		}
+	})
+	sys.Run(func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		h, _ := late.counts()
+		return started && h > 0
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if sawAny {
+		t.Error("pushed layer did not consume the message")
+	}
+	if h, _ := late.counts(); h == 0 {
+		t.Error("pushed layer never handled")
+	}
+}

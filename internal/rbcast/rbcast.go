@@ -1,0 +1,107 @@
+// Package rbcast implements the reliable broadcast abstraction the paper
+// assumes (Hadzilacos & Toueg [10]): primitives R-broadcast and R-deliver
+// with Validity (no spurious messages), Integrity (no duplicates) and
+// Termination (if a correct process R-broadcasts or R-delivers m, every
+// correct process R-delivers m).
+//
+// The construction is the classic echo relay: the origin sends a uniquely
+// identified frame to everyone; on first receipt of a frame, a process
+// relays it to everyone and only then R-delivers it. If the origin crashes
+// mid-broadcast but the frame reaches one correct process, that process's
+// relay completes the broadcast.
+package rbcast
+
+import (
+	"fmt"
+	"strings"
+
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// framePrefix marks wire messages carrying reliable-broadcast frames; the
+// original protocol tag is appended so per-protocol message metrics stay
+// observable (e.g. "rbcast:wheel.xmove").
+const framePrefix = "rbcast:"
+
+// msgID uniquely identifies an R-broadcast message.
+type msgID struct {
+	Origin ids.ProcID
+	Seq    int
+}
+
+// frame is the wire payload of a relayed R-broadcast message.
+type frame struct {
+	ID      msgID
+	Tag     string
+	Payload any
+}
+
+// Layer adds reliable broadcast to one process's environment. It is not
+// safe for concurrent use: like all protocol state, it lives on the
+// owning process's goroutine.
+type Layer struct {
+	env     *sim.Env
+	nextSeq int
+	seen    map[msgID]bool
+}
+
+// New returns a reliable-broadcast layer for env.
+func New(env *sim.Env) *Layer {
+	return &Layer{env: env, seen: make(map[msgID]bool)}
+}
+
+// Broadcast R-broadcasts a protocol message (tag, payload) to all
+// processes, the sender included.
+func (l *Layer) Broadcast(tag string, payload any) {
+	l.nextSeq++
+	f := frame{
+		ID:      msgID{Origin: l.env.ID(), Seq: l.nextSeq},
+		Tag:     tag,
+		Payload: payload,
+	}
+	l.env.Broadcast(framePrefix+tag, f)
+}
+
+// WireTag returns the network-level tag under which R-broadcasts of the
+// given protocol tag travel (for metrics queries).
+func WireTag(tag string) string { return framePrefix + tag }
+
+// Poll implements node.Layer; the relay logic is purely message-driven.
+func (l *Layer) Poll() {}
+
+// Handle implements node.Layer. It filters one raw message from the
+// event loop.
+//
+// Plain (non-rbcast) messages pass through unchanged with deliver=true.
+// For rbcast frames: the first copy is relayed to everyone and returned as
+// the R-delivered protocol message, with From rewritten to the origin;
+// duplicate copies return deliver=false and must be ignored.
+func (l *Layer) Handle(m sim.Message) (sim.Message, bool) {
+	if !strings.HasPrefix(m.Tag, framePrefix) {
+		return m, true
+	}
+	f, ok := m.Payload.(frame)
+	if !ok {
+		panic(fmt.Sprintf("rbcast: frame payload has type %T", m.Payload))
+	}
+	if l.seen[f.ID] {
+		return sim.Message{}, false
+	}
+	l.seen[f.ID] = true
+	// Relay before delivering: if this process crashes mid-relay it has
+	// not R-delivered, preserving Termination's contrapositive.
+	for q := 1; q <= l.env.N(); q++ {
+		if ids.ProcID(q) != l.env.ID() {
+			l.env.Send(ids.ProcID(q), m.Tag, f)
+		}
+	}
+	return sim.Message{
+		From:        f.ID.Origin,
+		To:          m.To,
+		Tag:         f.Tag,
+		Payload:     f.Payload,
+		SentAt:      m.SentAt,
+		DeliveredAt: m.DeliveredAt,
+	}, true
+}

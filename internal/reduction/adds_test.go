@@ -1,0 +1,113 @@
+package reduction
+
+import (
+	"testing"
+
+	"fdgrid/internal/fd"
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// TestAddSPerpetual: S_x + φ_y → S_n when x+y > t (Appendix B,
+// Theorem 14), over every register substrate.
+func TestAddSPerpetual(t *testing.T) {
+	for _, substrate := range []string{"memory", "heartbeat", "abd"} {
+		t.Run(substrate, func(t *testing.T) {
+			cases := []struct {
+				name    string
+				x, y    int
+				crashes map[ids.ProcID]sim.Time
+			}{
+				{"x2y1", 2, 1, map[ids.ProcID]sim.Time{3: 800}},
+				{"x1y2", 1, 2, map[ids.ProcID]sim.Time{1: 0, 4: 1200}},
+				{"x3y0-trivial-phi", 3, 0, nil},
+			}
+			for _, tc := range cases {
+				t.Run(tc.name, func(t *testing.T) {
+					// n=5, t=2: x+y > 2 in every case.
+					cfg := sim.Config{
+						N: 5, T: 2, Seed: 21, MaxSteps: 120_000, GST: 0,
+						Crashes: tc.crashes, Bandwidth: 5,
+					}
+					sys := sim.MustNew(cfg)
+					susp := fd.NewS(sys, tc.x)
+					quer := fd.NewPhi(sys, tc.y)
+					emu := SpawnAddS(sys, susp, quer, substrate)
+					trace := fd.WatchSuspector(sys, emu)
+					sys.Run(nil)
+					// Output must be of class S = S_n: perpetual accuracy
+					// with scope n.
+					if err := trace.CheckSuspector(sys.Pattern(), 5, true, 20_000); err != nil {
+						t.Errorf("x=%d y=%d: %v", tc.x, tc.y, err)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestAddSEventual: ◇S_x + ◇φ_y → ◇S_n with anarchy before GST.
+func TestAddSEventual(t *testing.T) {
+	for _, substrate := range []string{"memory", "heartbeat"} {
+		t.Run(substrate, func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				cfg := sim.Config{
+					N: 5, T: 2, Seed: seed, MaxSteps: 150_000, GST: 2_000,
+					Crashes: map[ids.ProcID]sim.Time{2: 500}, Bandwidth: 5,
+				}
+				sys := sim.MustNew(cfg)
+				susp := fd.NewEvtS(sys, 2)
+				quer := fd.NewEvtPhi(sys, 1)
+				emu := SpawnAddS(sys, susp, quer, substrate)
+				trace := fd.WatchSuspector(sys, emu)
+				sys.Run(nil)
+				if err := trace.CheckSuspector(sys.Pattern(), 5, false, 20_000); err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestAddSCompleteness: the emulated output eventually suspects exactly
+// the crashed processes when the underlying detectors are honest.
+func TestAddSCompleteness(t *testing.T) {
+	cfg := sim.Config{
+		N: 5, T: 2, Seed: 9, MaxSteps: 120_000, GST: 0,
+		Crashes: map[ids.ProcID]sim.Time{1: 300, 5: 600}, Bandwidth: 5,
+	}
+	sys := sim.MustNew(cfg)
+	susp := fd.NewS(sys, 3, fd.WithHostile(false))
+	quer := fd.NewPhi(sys, 0)
+	emu := SpawnAddS(sys, susp, quer, "memory")
+	trace := fd.WatchSuspector(sys, emu)
+	sys.Run(nil)
+	faulty := sys.Pattern().Faulty()
+	sys.Pattern().Correct().ForEach(func(p ids.ProcID) bool {
+		final, ok := trace.FinalValue(p)
+		if !ok {
+			t.Errorf("%v never sampled", p)
+			return true
+		}
+		if !final.Equal(faulty) {
+			t.Errorf("final SUSPECTED of %v = %s, want %s", p, final, faulty)
+		}
+		return true
+	})
+}
+
+func TestSpawnAddSUnknownSubstrate(t *testing.T) {
+	cfg := sim.Config{N: 3, T: 1, Seed: 1, MaxSteps: 2_000}
+	sys := sim.MustNew(cfg)
+	susp := fd.NewS(sys, 2)
+	quer := fd.NewPhi(sys, 1)
+	emu := SpawnAddS(sys, susp, quer, "bogus")
+	// The panic fires inside process mains; it must surface, not hang.
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown substrate did not panic")
+		}
+	}()
+	sys.Run(nil)
+	_ = emu
+}

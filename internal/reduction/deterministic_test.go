@@ -1,0 +1,96 @@
+package reduction
+
+import (
+	"testing"
+
+	"fdgrid/internal/fd"
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// TestLowerWheelDeferredMatching pins down the paper's task T2
+// consumption rule with a deterministic script: n=3, x=3, so the ring is
+// (1,Π), (2,Π), (3,Π). Every process suspects p1 forever and nobody
+// else. Between one and three processes R-broadcast x_move((1,Π))
+// (a process that consumes a delivered move before its first suspicious
+// poll advances without broadcasting); every process consumes exactly
+// one copy at the matching position and rests at (2,Π) — leftover
+// copies stay buffered forever because the position never wraps back.
+func TestLowerWheelDeferredMatching(t *testing.T) {
+	cfg := sim.Config{N: 3, T: 1, Seed: 5, MaxSteps: 30_000, GST: 0, Bandwidth: 3}
+	sys := sim.MustNew(cfg)
+	susp := fd.NewScriptedSuspector(sys, []fd.SuspectStep{
+		{At: 0, Common: ids.NewSet(1)},
+	})
+	reprs := SpawnLowerWheel(sys, susp, 3)
+	sys.Run(nil)
+
+	want := ids.XPos{Leader: 2, X: ids.FullSet(3)}
+	for p := 1; p <= 3; p++ {
+		id := ids.ProcID(p)
+		pos, ok := reprs.Pos(id)
+		if !ok {
+			t.Fatalf("process %v never registered", id)
+		}
+		if pos.Leader != want.Leader || !pos.X.Equal(want.X) {
+			t.Errorf("process %v at %s, want %s", id, pos, want)
+		}
+		if got := reprs.Repr(id); got != 2 {
+			t.Errorf("repr of %v = %v, want 2", id, got)
+		}
+	}
+	// Each R-broadcast costs 9 wire messages at n=3 (3 origin sends +
+	// 3×2 first-receipt relays); between 1 and 3 origins broadcast.
+	sent := sys.Metrics().Sent("rbcast:wheel.xmove")
+	if sent%9 != 0 || sent < 9 || sent > 27 {
+		t.Errorf("x_move wire messages = %d, want a multiple of 9 in [9, 27]", sent)
+	}
+}
+
+// TestLowerWheelStaggeredScript walks the wheel through two moves: p1's
+// leadership is rejected by everyone from the start, p2's from tick
+// 2000. The wheel must rest at (3, Π).
+func TestLowerWheelStaggeredScript(t *testing.T) {
+	cfg := sim.Config{N: 3, T: 1, Seed: 6, MaxSteps: 40_000, GST: 0, Bandwidth: 3}
+	sys := sim.MustNew(cfg)
+	susp := fd.NewScriptedSuspector(sys, []fd.SuspectStep{
+		{At: 0, Common: ids.NewSet(1)},
+		{At: 2_000, Common: ids.NewSet(1, 2)},
+	})
+	reprs := SpawnLowerWheel(sys, susp, 3)
+	sys.Run(nil)
+	for p := 1; p <= 3; p++ {
+		if got := reprs.Repr(ids.ProcID(p)); got != 3 {
+			t.Errorf("repr of p%d = %v, want 3", p, got)
+		}
+	}
+}
+
+// TestUpperWheelAllCrashedBranch unit-tests the task T4 fallback: when
+// query(Y) confirms the whole candidate region crashed, trusted is the
+// smallest provably-live process outside Y.
+func TestUpperWheelAllCrashedBranch(t *testing.T) {
+	// n=5, t=2, y=1 → |Y|=2; crash {1,2} (= the first ring Y).
+	cfg := sim.Config{
+		N: 5, T: 2, Seed: 7, MaxSteps: 50_000, GST: 0, Bandwidth: 5,
+		Crashes: map[ids.ProcID]sim.Time{1: 0, 2: 0},
+	}
+	sys := sim.MustNew(cfg)
+	quer := fd.NewPhi(sys, 1) // perpetual: exact answers
+	// A suspector that never suspects: the lower wheel never moves, and
+	// with nobody in Y alive to respond, the upper wheel rests at its
+	// first position via the query exit.
+	susp := fd.NewScriptedSuspector(sys, []fd.SuspectStep{{At: 0}})
+	emu, _ := SpawnTwoWheels(sys, susp, quer, 1, 1)
+	trace := fd.WatchLeader(sys, emu)
+	sys.Run(trace.StableFor(sys.Pattern().Correct(), 10_000))
+	for p := 3; p <= 5; p++ {
+		got := emu.Trusted(ids.ProcID(p))
+		if !got.Equal(ids.NewSet(3)) {
+			t.Errorf("trusted of p%d = %s, want {3} (smallest live outside Y)", p, got)
+		}
+	}
+	if err := trace.CheckOmega(sys.Pattern(), 2, 5_000); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package reduction
+
+import (
+	"sync"
+
+	"fdgrid/internal/fd"
+	"fdgrid/internal/ids"
+	"fdgrid/internal/node"
+	"fdgrid/internal/rbcast"
+	"fdgrid/internal/sim"
+)
+
+// OmegaEmulation aggregates per-process upper wheels into a failure
+// detector of class Ω_z readable through the fd.Leader interface — the
+// "output" of the two-wheels transformation. Wheels register as their
+// processes start; an unregistered process reads the empty set (it has
+// taken no step yet).
+type OmegaEmulation struct {
+	mu     sync.RWMutex
+	wheels map[ids.ProcID]*UpperWheel
+}
+
+var _ fd.Leader = (*OmegaEmulation)(nil)
+
+// NewOmegaEmulation returns an empty aggregator.
+func NewOmegaEmulation() *OmegaEmulation {
+	return &OmegaEmulation{wheels: make(map[ids.ProcID]*UpperWheel)}
+}
+
+// Register binds process p's upper wheel.
+func (e *OmegaEmulation) Register(p ids.ProcID, w *UpperWheel) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.wheels[p] = w
+}
+
+// Trusted implements fd.Leader.
+func (e *OmegaEmulation) Trusted(p ids.ProcID) ids.Set {
+	e.mu.RLock()
+	w := e.wheels[p]
+	e.mu.RUnlock()
+	if w == nil {
+		return ids.EmptySet()
+	}
+	return w.Trusted()
+}
+
+// ReprView aggregates per-process lower wheels, exposing the emulated
+// representatives of Theorem 6 (diagnostics and tests).
+type ReprView struct {
+	mu     sync.RWMutex
+	wheels map[ids.ProcID]*LowerWheel
+}
+
+// NewReprView returns an empty aggregator.
+func NewReprView() *ReprView {
+	return &ReprView{wheels: make(map[ids.ProcID]*LowerWheel)}
+}
+
+// Register binds process p's lower wheel.
+func (v *ReprView) Register(p ids.ProcID, w *LowerWheel) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.wheels[p] = w
+}
+
+// Repr returns process p's current representative (p itself before the
+// process registered).
+func (v *ReprView) Repr(p ids.ProcID) ids.ProcID {
+	v.mu.RLock()
+	w := v.wheels[p]
+	v.mu.RUnlock()
+	if w == nil {
+		return p
+	}
+	return w.Repr()
+}
+
+// Pos returns process p's current lower-ring position and whether p has
+// registered.
+func (v *ReprView) Pos(p ids.ProcID) (ids.XPos, bool) {
+	v.mu.RLock()
+	w := v.wheels[p]
+	v.mu.RUnlock()
+	if w == nil {
+		return ids.XPos{}, false
+	}
+	return w.Pos(), true
+}
+
+// InstallTwoWheels builds the full ◇S_x + ◇φ_y → Ω_z stack for one
+// process on top of an existing rbcast layer, registering the outputs
+// with the given aggregators (either may be nil). It returns the layers
+// to be pushed onto the process's node, bottom-up.
+func InstallTwoWheels(env *sim.Env, rb *rbcast.Layer, susp fd.Suspector, q fd.Querier,
+	x, y int, emu *OmegaEmulation, reprs *ReprView) (*LowerWheel, *UpperWheel) {
+	lower := NewLowerWheel(env, rb, susp, x)
+	upper := NewUpperWheel(env, rb, q, lower, x, y)
+	if reprs != nil {
+		reprs.Register(env.ID(), lower)
+	}
+	if emu != nil {
+		emu.Register(env.ID(), upper)
+	}
+	return lower, upper
+}
+
+// SpawnTwoWheels registers transformation-only mains (no upper-layer
+// protocol) on every process of sys, returning the emulated Ω_z and the
+// representatives view. Call before sys.Run.
+func SpawnTwoWheels(sys *sim.System, susp fd.Suspector, q fd.Querier, x, y int) (*OmegaEmulation, *ReprView) {
+	emu := NewOmegaEmulation()
+	reprs := NewReprView()
+	sys.SpawnAll(func(env *sim.Env) {
+		rb := rbcast.New(env)
+		lower, upper := InstallTwoWheels(env, rb, susp, q, x, y, emu, reprs)
+		node.New(env, rb, lower, upper).RunForever()
+	})
+	return emu, reprs
+}
+
+// SpawnLowerWheel registers lower-wheel-only mains on every process
+// (for the Fig. 5 experiments), returning the representatives view.
+func SpawnLowerWheel(sys *sim.System, susp fd.Suspector, x int) *ReprView {
+	reprs := NewReprView()
+	sys.SpawnAll(func(env *sim.Env) {
+		rb := rbcast.New(env)
+		lower := NewLowerWheel(env, rb, susp, x)
+		reprs.Register(env.ID(), lower)
+		node.New(env, rb, lower).RunForever()
+	})
+	return reprs
+}

@@ -1,0 +1,101 @@
+package reduction
+
+import (
+	"testing"
+
+	"fdgrid/internal/agreement"
+	"fdgrid/internal/fd"
+	"fdgrid/internal/ids"
+	"fdgrid/internal/node"
+	"fdgrid/internal/rbcast"
+	"fdgrid/internal/sim"
+)
+
+// TestSingleWheelBuildsOmega: ◇S (full scope) → Ω via the quiescent
+// single wheel, across seeds and crash patterns.
+func TestSingleWheelBuildsOmega(t *testing.T) {
+	cases := []struct {
+		name    string
+		crashes map[ids.ProcID]sim.Time
+	}{
+		{"no-crash", nil},
+		{"initial-crash", map[ids.ProcID]sim.Time{1: 0}},
+		{"late-crashes", map[ids.ProcID]sim.Time{1: 500, 3: 1_200}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				cfg := sim.Config{
+					N: 5, T: 2, Seed: seed, MaxSteps: 200_000, GST: 800,
+					Crashes: tc.crashes, Bandwidth: 5,
+				}
+				sys := sim.MustNew(cfg)
+				susp := fd.NewEvtS(sys, 5) // ◇S = ◇S_n required
+				emu := SpawnSingleWheel(sys, susp)
+				trace := fd.WatchLeader(sys, emu)
+				sys.Run(trace.StableFor(sys.Pattern().Correct(), 15_000))
+				if err := trace.CheckOmega(sys.Pattern(), 1, 10_000); err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSingleWheelQuiescent: c_move traffic stops once the wheel rests.
+func TestSingleWheelQuiescent(t *testing.T) {
+	cfg := sim.Config{
+		N: 5, T: 2, Seed: 4, MaxSteps: 120_000, GST: 500,
+		Crashes: map[ids.ProcID]sim.Time{2: 600}, Bandwidth: 5,
+	}
+	sys := sim.MustNew(cfg)
+	susp := fd.NewEvtS(sys, 5)
+	_ = SpawnSingleWheel(sys, susp)
+	wire := rbcast.WireTag(tagCMove)
+	var at80 int64 = -1
+	sys.OnTick(func(now sim.Time) {
+		if now == 100_000 {
+			at80 = sys.Metrics().Sent(wire)
+		}
+	})
+	rep := sys.Run(nil)
+	if at80 < 0 {
+		t.Fatal("sampling tick missed")
+	}
+	if final := rep.Messages.Sent[wire]; final != at80 {
+		t.Errorf("c_move traffic still flowing: %d → %d", at80, final)
+	}
+}
+
+// TestSingleWheelFeedsConsensus: the emulated Ω drives the Fig. 3
+// algorithm at k = 1 — the classic ◇S → Ω → consensus pipeline.
+func TestSingleWheelFeedsConsensus(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		cfg := sim.Config{
+			N: 5, T: 2, Seed: seed, MaxSteps: 1_000_000, GST: 600,
+			Crashes: map[ids.ProcID]sim.Time{5: 400}, Bandwidth: 5,
+		}
+		sys := sim.MustNew(cfg)
+		susp := fd.NewEvtS(sys, 5)
+		emu := NewSingleWheelEmulation()
+		out := agreement.NewOutcome()
+		for p := 1; p <= 5; p++ {
+			id := ids.ProcID(p)
+			sys.Spawn(id, func(env *sim.Env) {
+				rb := rbcast.New(env)
+				w := NewSingleWheelOmega(env, rb, susp)
+				emu.Register(env.ID(), w)
+				nd := node.New(env, rb, w)
+				agreement.KSet(nd, rb, emu, agreement.Value(10*int(env.ID())), out)
+				nd.RunForever()
+			})
+		}
+		rep := sys.Run(out.AllDecided(sys.Pattern().Correct()))
+		if !rep.StoppedEarly {
+			t.Fatalf("seed %d: timed out", seed)
+		}
+		if err := out.Check(sys.Pattern(), 1); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package register
+
+import (
+	"fmt"
+	"sync"
+
+	"fdgrid/internal/ids"
+	"fdgrid/internal/node"
+	"fdgrid/internal/sim"
+)
+
+// tagHBUpdate carries heartbeat register updates.
+const tagHBUpdate = "reg.hb"
+
+type hbUpdate struct {
+	Name string
+	Seq  int64
+	Val  any
+}
+
+// Heartbeat is the message-passing translation of single-writer
+// registers: Write broadcasts the new value with a sequence number;
+// readers keep the freshest value received per (owner, register). Reads
+// are local and may be stale, which Fig. 9 tolerates (its counters are
+// monotone and its safety argument does not depend on read freshness).
+// Works for any t.
+//
+// Heartbeat is a node.Layer: push it onto the process's stack so updates
+// are absorbed.
+type Heartbeat struct {
+	env *sim.Env
+	seq int64
+
+	mu    sync.RWMutex
+	cache map[key]hbEntry
+}
+
+type hbEntry struct {
+	seq int64
+	val any
+}
+
+var (
+	_ Store      = (*Heartbeat)(nil)
+	_ node.Layer = (*Heartbeat)(nil)
+)
+
+// NewHeartbeat returns the heartbeat register layer for one process.
+func NewHeartbeat(env *sim.Env) *Heartbeat {
+	return &Heartbeat{env: env, cache: make(map[key]hbEntry)}
+}
+
+// Write implements Store: broadcast the update (own registers only by
+// construction; the layer stores its own copy immediately so local
+// read-own-write is never stale).
+func (h *Heartbeat) Write(name string, v any) {
+	h.seq++
+	k := key{owner: h.env.ID(), name: name}
+	h.mu.Lock()
+	h.cache[k] = hbEntry{seq: h.seq, val: v}
+	h.mu.Unlock()
+	h.env.Broadcast(tagHBUpdate, hbUpdate{Name: name, Seq: h.seq, Val: v})
+}
+
+// Read implements Store.
+func (h *Heartbeat) Read(owner ids.ProcID, name string) any {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.cache[key{owner: owner, name: name}].val
+}
+
+// Handle implements node.Layer: absorb updates, newest per register wins.
+func (h *Heartbeat) Handle(m sim.Message) (sim.Message, bool) {
+	if m.Tag != tagHBUpdate {
+		return m, true
+	}
+	up, ok := m.Payload.(hbUpdate)
+	if !ok {
+		panic(fmt.Sprintf("register: heartbeat payload %T", m.Payload))
+	}
+	k := key{owner: m.From, name: up.Name}
+	h.mu.Lock()
+	if h.cache[k].seq < up.Seq {
+		h.cache[k] = hbEntry{seq: up.Seq, val: up.Val}
+	}
+	h.mu.Unlock()
+	return sim.Message{}, false
+}
+
+// Poll implements node.Layer.
+func (h *Heartbeat) Poll() {}

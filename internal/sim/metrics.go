@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+)
+
+// Metrics counts message traffic per tag. All methods are safe for
+// concurrent use.
+type Metrics struct {
+	mu        sync.Mutex
+	sentN     map[string]int64
+	deliverN  map[string]int64
+	droppedN  map[string]int64
+	totalSent int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		sentN:    make(map[string]int64),
+		deliverN: make(map[string]int64),
+		droppedN: make(map[string]int64),
+	}
+}
+
+func (m *Metrics) sent(tag string) {
+	m.mu.Lock()
+	m.sentN[tag]++
+	m.totalSent++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) delivered(tag string) {
+	m.mu.Lock()
+	m.deliverN[tag]++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) dropped(tag string) {
+	m.mu.Lock()
+	m.droppedN[tag]++
+	m.mu.Unlock()
+}
+
+// Sent returns how many messages with the given tag have been sent.
+func (m *Metrics) Sent(tag string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sentN[tag]
+}
+
+// TotalSent returns the total number of messages sent so far.
+func (m *Metrics) TotalSent() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totalSent
+}
+
+// MetricsSnapshot is an immutable copy of the counters.
+type MetricsSnapshot struct {
+	Sent      map[string]int64
+	Delivered map[string]int64
+	Dropped   map[string]int64
+	TotalSent int64
+}
+
+// Snapshot copies the current counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MetricsSnapshot{
+		Sent:      copyCounts(m.sentN),
+		Delivered: copyCounts(m.deliverN),
+		Dropped:   copyCounts(m.droppedN),
+		TotalSent: m.totalSent,
+	}
+}
+
+// Tags returns the message tags seen so far, sorted.
+func (s MetricsSnapshot) Tags() []string {
+	seen := make(map[string]bool, len(s.Sent))
+	for tag := range s.Sent {
+		seen[tag] = true
+	}
+	for tag := range s.Delivered {
+		seen[tag] = true
+	}
+	tags := make([]string, 0, len(seen))
+	for tag := range seen {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+func copyCounts(in map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}

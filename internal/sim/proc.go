@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"fdgrid/internal/ids"
+)
+
+// Message is a point-to-point message. Payloads must be immutable values:
+// they are shared between sender and receiver without copying.
+type Message struct {
+	From, To    ids.ProcID
+	Tag         string
+	Payload     any
+	SentAt      Time
+	DeliveredAt Time
+}
+
+type envelope struct {
+	msg       Message
+	notBefore Time // scripted holds: earliest deliverable tick
+}
+
+// procKilled is the sentinel used to unwind a crashed or stopped process
+// goroutine. It never escapes the package: System.Run recovers it.
+type procKilled struct{}
+
+// Proc is the runtime state of one simulated process.
+type Proc struct {
+	id   ids.ProcID
+	sys  *System
+	main func(*Env)
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inbox    []Message
+	nextRead int
+	dead     bool
+	wakes    uint64
+}
+
+func newProc(id ids.ProcID, sys *System) *Proc {
+	p := &Proc{id: id, sys: sys}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *Proc) deliver(m Message) {
+	p.mu.Lock()
+	p.inbox = append(p.inbox, m)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+func (p *Proc) wake() {
+	p.mu.Lock()
+	p.wakes++
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+func (p *Proc) kill() {
+	p.mu.Lock()
+	p.dead = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Env is the interface protocol code uses to interact with the system.
+// All methods must be called from the owning process's goroutine (the
+// main passed to Spawn); they unwind the goroutine once the process has
+// crashed or the run has stopped.
+type Env struct {
+	p *Proc
+}
+
+// ID returns the identity of this process.
+func (e *Env) ID() ids.ProcID { return e.p.id }
+
+// N returns the number of processes in the system.
+func (e *Env) N() int { return e.p.sys.cfg.N }
+
+// T returns the resilience bound t.
+func (e *Env) T() int { return e.p.sys.cfg.T }
+
+// All returns the set {1..n} of all process identities (paper's Π).
+func (e *Env) All() ids.Set { return ids.FullSet(e.N()) }
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.p.sys.Now() }
+
+// checkAlive unwinds the goroutine if the process crashed or the run
+// stopped. Must be called with p.mu NOT held.
+func (e *Env) checkAlive() {
+	e.p.mu.Lock()
+	dead := e.p.dead
+	e.p.mu.Unlock()
+	if dead {
+		panic(procKilled{})
+	}
+}
+
+// Send transmits a message to process "to" over the reliable channel.
+func (e *Env) Send(to ids.ProcID, tag string, payload any) {
+	e.checkAlive()
+	if to < 1 || int(to) > e.N() {
+		panic(fmt.Sprintf("sim: Send to unknown process %d", to))
+	}
+	e.p.sys.send(Message{
+		From:    e.p.id,
+		To:      to,
+		Tag:     tag,
+		Payload: payload,
+		SentAt:  e.Now(),
+	})
+}
+
+// Broadcast sends the message to every process, itself included
+// (the paper's Broadcast(m) macro). It is not reliable: a process that
+// crashes mid-broadcast in the model may reach only a subset; here the
+// whole call either happens before the crash tick or unwinds, which is
+// one of the legal behaviours.
+func (e *Env) Broadcast(tag string, payload any) {
+	for q := 1; q <= e.N(); q++ {
+		e.Send(ids.ProcID(q), tag, payload)
+	}
+}
+
+// Step blocks until something happens, then returns. If a new message is
+// available it returns (msg, true); if the process was merely woken by a
+// clock tick (time advanced, oracle outputs may have changed) it returns
+// (Message{}, false). Protocol event loops call Step repeatedly and
+// re-evaluate their wait conditions after each return.
+func (e *Env) Step() (Message, bool) {
+	p := e.p
+	p.mu.Lock()
+	for {
+		if p.dead {
+			p.mu.Unlock()
+			panic(procKilled{})
+		}
+		if p.nextRead < len(p.inbox) {
+			m := p.inbox[p.nextRead]
+			p.nextRead++
+			p.mu.Unlock()
+			return m, true
+		}
+		seen := p.wakes
+		for p.wakes == seen && p.nextRead >= len(p.inbox) && !p.dead {
+			p.cond.Wait()
+		}
+		if p.nextRead >= len(p.inbox) && !p.dead {
+			// Woken by a tick, not a message.
+			p.mu.Unlock()
+			return Message{}, false
+		}
+	}
+}
+
+// WaitUntil runs the event loop until pred() is true: each delivered
+// message is passed to onMsg (which may be nil), and pred is re-evaluated
+// after every message and every clock tick. pred is evaluated first, so a
+// condition that already holds returns immediately.
+func (e *Env) WaitUntil(pred func() bool, onMsg func(Message)) {
+	for !pred() {
+		m, ok := e.Step()
+		if ok && onMsg != nil {
+			onMsg(m)
+		}
+	}
+}
+
+// Crashed reports whether this process has been crashed or stopped; it is
+// intended for tests. Protocol code never observes true: its next Env
+// call unwinds instead.
+func (e *Env) Crashed() bool {
+	e.p.mu.Lock()
+	defer e.p.mu.Unlock()
+	return e.p.dead
+}

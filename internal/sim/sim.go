@@ -1,0 +1,468 @@
+// Package sim implements the asynchronous message-passing system model
+// AS[n,t] of the paper: n processes that communicate over reliable but
+// arbitrarily slow channels, of which at most t may crash.
+//
+// Processes run as goroutines. A central scheduler (the "adversary")
+// advances a virtual clock one tick at a time; on each tick it delivers
+// one in-flight message chosen uniformly at random (seeded), applies
+// scheduled crashes, and wakes every process so that waits re-evaluate
+// their conditions. Arbitrary-but-finite message delays and arbitrary
+// crash patterns — exactly the adversary the asynchronous model
+// quantifies over — are thus sampled reproducibly.
+//
+// Crash semantics: once a process is crashed, its next interaction with
+// the environment unwinds its goroutine (an internal sentinel panic that
+// never escapes the package). A crashed process therefore takes no
+// further observable step, as in the model.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fdgrid/internal/ids"
+)
+
+// Time is the virtual clock, counted in scheduler ticks.
+type Time int64
+
+// Never is a crash time meaning "the process is correct".
+const Never Time = 1<<62 - 1
+
+// Hold delays matching messages: a message sent from a process in From to
+// a process in To is not deliverable before Until. Holds are the scripted
+// half of the adversary, used by the irreducibility experiments
+// (e.g. "delay every message from E between τ0 and τ1").
+type Hold struct {
+	From  ids.Set
+	To    ids.Set
+	Until Time
+}
+
+// Config parameterizes a run of the system.
+type Config struct {
+	// N is the number of processes (ids 1..N); T the resilience bound.
+	N, T int
+	// Seed drives the scheduler's random choices.
+	Seed int64
+	// MaxSteps bounds the run; the run stops when the clock reaches it.
+	MaxSteps Time
+	// Crashes maps a process to its crash time. Absent means correct.
+	// A crash time of 0 is an initial crash.
+	Crashes map[ids.ProcID]Time
+	// GST is the global stabilization time: eventual failure detector
+	// classes may misbehave before it and must behave after it.
+	GST Time
+	// Holds optionally script message delays (see Hold).
+	Holds []Hold
+	// Bandwidth is how many messages the scheduler delivers per tick
+	// (default 1). Higher values speed up message-heavy transformations
+	// without changing the adversary's power: delivery order stays
+	// random and delays stay arbitrary.
+	Bandwidth int
+}
+
+func (c Config) validate() error {
+	if c.N < 1 || c.N > ids.MaxProcs {
+		return fmt.Errorf("sim: N=%d out of range 1..%d", c.N, ids.MaxProcs)
+	}
+	if c.T < 0 || c.T >= c.N {
+		return fmt.Errorf("sim: T=%d out of range 0..%d", c.T, c.N-1)
+	}
+	if len(c.Crashes) > c.T {
+		return fmt.Errorf("sim: %d crashes scheduled but T=%d", len(c.Crashes), c.T)
+	}
+	for p, at := range c.Crashes {
+		if p < 1 || int(p) > c.N {
+			return fmt.Errorf("sim: crash scheduled for unknown process %d", p)
+		}
+		if at < 0 {
+			return fmt.Errorf("sim: negative crash time for %v", p)
+		}
+	}
+	if c.MaxSteps <= 0 {
+		return fmt.Errorf("sim: MaxSteps=%d must be positive", c.MaxSteps)
+	}
+	if c.Bandwidth < 0 {
+		return fmt.Errorf("sim: Bandwidth=%d must be non-negative", c.Bandwidth)
+	}
+	return nil
+}
+
+func (c Config) bandwidth() int {
+	if c.Bandwidth == 0 {
+		return 1
+	}
+	return c.Bandwidth
+}
+
+// Pattern is the failure pattern of a run: which processes crash and when.
+// It is derived from Config.Crashes and is the ground truth failure
+// detector oracles consult.
+type Pattern struct {
+	n       int
+	crashAt []Time // index 1..n; Never for correct processes
+}
+
+func newPattern(cfg Config) *Pattern {
+	fp := &Pattern{n: cfg.N, crashAt: make([]Time, cfg.N+1)}
+	for i := range fp.crashAt {
+		fp.crashAt[i] = Never
+	}
+	for p, at := range cfg.Crashes {
+		fp.crashAt[p] = at
+	}
+	return fp
+}
+
+// N returns the number of processes.
+func (fp *Pattern) N() int { return fp.n }
+
+// CrashTime returns when p crashes (Never if correct).
+func (fp *Pattern) CrashTime(p ids.ProcID) Time { return fp.crashAt[p] }
+
+// Crashed reports whether p has crashed at or before time at.
+func (fp *Pattern) Crashed(p ids.ProcID, at Time) bool { return fp.crashAt[p] <= at }
+
+// AllCrashed reports whether every process of s has crashed by time at.
+// The empty set is vacuously all-crashed.
+func (fp *Pattern) AllCrashed(s ids.Set, at Time) bool {
+	all := true
+	s.ForEach(func(p ids.ProcID) bool {
+		if !fp.Crashed(p, at) {
+			all = false
+			return false
+		}
+		return true
+	})
+	return all
+}
+
+// Correct returns the set of processes that never crash in the run.
+func (fp *Pattern) Correct() ids.Set {
+	var s ids.Set
+	for p := 1; p <= fp.n; p++ {
+		if fp.crashAt[p] == Never {
+			s = s.Add(ids.ProcID(p))
+		}
+	}
+	return s
+}
+
+// Faulty returns the complement of Correct within {1..n}.
+func (fp *Pattern) Faulty() ids.Set {
+	return ids.FullSet(fp.n).Minus(fp.Correct())
+}
+
+// System is one simulated asynchronous system instance. Create it with
+// New, register process mains with Spawn, then call Run exactly once.
+type System struct {
+	cfg     Config
+	pattern *Pattern
+	rng     *rand.Rand
+	now     atomic.Int64
+	procs   []*Proc // index 1..N
+	metrics *Metrics
+
+	mu      sync.Mutex
+	pending []envelope
+
+	stopFlag atomic.Bool
+	wg       sync.WaitGroup
+	ran      bool
+	onTick   []func(Time)
+
+	panicMu  sync.Mutex
+	panicVal any
+	panicked bool
+}
+
+// recordPanic stores the first protocol panic; Run re-raises it on the
+// caller's goroutine once every process goroutine has been joined.
+func (s *System) recordPanic(v any) {
+	s.panicMu.Lock()
+	if !s.panicked {
+		s.panicked = true
+		s.panicVal = v
+	}
+	s.panicMu.Unlock()
+}
+
+func (s *System) hasPanicked() bool {
+	s.panicMu.Lock()
+	defer s.panicMu.Unlock()
+	return s.panicked
+}
+
+// OnTick registers fn to run on the scheduler goroutine once per tick,
+// after deliveries and wake-ups. Trace recorders use it to sample failure
+// detector outputs. Must be called before Run.
+func (s *System) OnTick(fn func(Time)) {
+	if s.ran {
+		panic("sim: OnTick after Run")
+	}
+	s.onTick = append(s.onTick, fn)
+}
+
+// New builds a system from cfg. It returns an error if cfg is invalid.
+func New(cfg Config) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:     cfg,
+		pattern: newPattern(cfg),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		metrics: newMetrics(),
+	}
+	s.procs = make([]*Proc, cfg.N+1)
+	for i := 1; i <= cfg.N; i++ {
+		s.procs[i] = newProc(ids.ProcID(i), s)
+	}
+	return s, nil
+}
+
+// MustNew is New for configurations known statically valid (tests, benches).
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the run configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Pattern returns the run's failure pattern (oracle ground truth).
+func (s *System) Pattern() *Pattern { return s.pattern }
+
+// Now returns the current virtual time.
+func (s *System) Now() Time { return Time(s.now.Load()) }
+
+// GST returns the configured global stabilization time.
+func (s *System) GST() Time { return s.cfg.GST }
+
+// Metrics returns the live metrics collector.
+func (s *System) Metrics() *Metrics { return s.metrics }
+
+// Env returns the environment handle of process p (for oracle adapters
+// and tests; protocol mains receive theirs via Spawn).
+func (s *System) Env(p ids.ProcID) *Env { return &Env{p: s.procs[p]} }
+
+// Spawn registers main as the protocol code of process p. It must be
+// called before Run. The main runs on its own goroutine; it is unwound
+// when p crashes or the run stops, and may also return on its own.
+func (s *System) Spawn(p ids.ProcID, main func(*Env)) {
+	if p < 1 || int(p) > s.cfg.N {
+		panic(fmt.Sprintf("sim: Spawn(%d) unknown process", p))
+	}
+	if s.procs[p].main != nil {
+		panic(fmt.Sprintf("sim: Spawn(%d) called twice", p))
+	}
+	s.procs[p].main = main
+}
+
+// SpawnAll registers the same main on every process.
+func (s *System) SpawnAll(main func(*Env)) {
+	for i := 1; i <= s.cfg.N; i++ {
+		s.Spawn(ids.ProcID(i), main)
+	}
+}
+
+// Report summarizes a finished run.
+type Report struct {
+	// Steps is the virtual time at which the run ended.
+	Steps Time
+	// StoppedEarly is true if the stop predicate fired before MaxSteps.
+	StoppedEarly bool
+	// Messages is a snapshot of the message metrics.
+	Messages MetricsSnapshot
+}
+
+// Run executes the system: it starts every registered main, then drives
+// the scheduler until stop() returns true or MaxSteps elapse, and finally
+// tears everything down, joining all process goroutines. stop may be nil
+// (run to MaxSteps) and must be safe to call from the scheduler goroutine.
+func (s *System) Run(stop func() bool) Report {
+	if s.ran {
+		panic("sim: Run called twice")
+	}
+	s.ran = true
+
+	for i := 1; i <= s.cfg.N; i++ {
+		p := s.procs[i]
+		if s.pattern.CrashTime(p.id) <= 0 {
+			p.kill() // initial crash: never takes a step
+			continue
+		}
+		if p.main == nil {
+			continue
+		}
+		s.wg.Add(1)
+		go func(p *Proc) {
+			defer s.wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(procKilled); ok {
+						return
+					}
+					// A protocol bug: remember it and re-raise from Run.
+					s.recordPanic(r)
+				}
+			}()
+			p.main(&Env{p: p})
+		}(p)
+	}
+
+	stoppedEarly := s.schedule(stop)
+
+	// Tear down: mark everything stopped so blocked processes unwind,
+	// then join them.
+	s.stopFlag.Store(true)
+	for i := 1; i <= s.cfg.N; i++ {
+		s.procs[i].kill()
+	}
+	s.wg.Wait()
+
+	s.panicMu.Lock()
+	panicked, panicVal := s.panicked, s.panicVal
+	s.panicMu.Unlock()
+	if panicked {
+		panic(panicVal)
+	}
+
+	return Report{
+		Steps:        s.Now(),
+		StoppedEarly: stoppedEarly,
+		Messages:     s.metrics.Snapshot(),
+	}
+}
+
+// schedule is the adversary loop: one tick per iteration.
+func (s *System) schedule(stop func() bool) bool {
+	idle := 0
+	for {
+		now := s.Now()
+		if now >= s.cfg.MaxSteps {
+			return false
+		}
+		if stop != nil && stop() {
+			return true
+		}
+		if s.hasPanicked() {
+			return false
+		}
+
+		// Apply crashes scheduled at this tick.
+		for i := 1; i <= s.cfg.N; i++ {
+			p := s.procs[i]
+			if s.pattern.CrashTime(p.id) == now {
+				p.kill()
+			}
+		}
+
+		delivered := false
+		for i := 0; i < s.cfg.bandwidth(); i++ {
+			if !s.deliverOne(now) {
+				break
+			}
+			delivered = true
+		}
+
+		// Samplers observe the system at time `now` (the clock has not
+		// advanced yet, so oracles read the same instant).
+		for _, fn := range s.onTick {
+			fn(now)
+		}
+
+		s.now.Add(1)
+		// Wake every process: time moved, oracles may have changed.
+		for i := 1; i <= s.cfg.N; i++ {
+			s.procs[i].wake()
+		}
+
+		if delivered {
+			idle = 0
+			continue
+		}
+		idle++
+		runtime.Gosched()
+		if idle%4096 == 0 {
+			// The network is quiet and processes are not producing
+			// messages; yield for real so compute-bound mains progress.
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// deliverOne picks one eligible in-flight message at random and delivers
+// it. It reports whether a delivery happened.
+func (s *System) deliverOne(now Time) bool {
+	s.mu.Lock()
+	eligible := eligibleIndices(s.pending, now)
+	if len(eligible) == 0 {
+		s.mu.Unlock()
+		return false
+	}
+	k := eligible[s.rng.Intn(len(eligible))]
+	env := s.pending[k]
+	s.pending[k] = s.pending[len(s.pending)-1]
+	s.pending = s.pending[:len(s.pending)-1]
+	s.mu.Unlock()
+
+	dst := s.procs[env.msg.To]
+	if s.pattern.Crashed(env.msg.To, now) {
+		s.metrics.dropped(env.msg.Tag)
+		return true
+	}
+	m := env.msg
+	m.DeliveredAt = now
+	dst.deliver(m)
+	s.metrics.delivered(m.Tag)
+	return true
+}
+
+func eligibleIndices(pending []envelope, now Time) []int {
+	out := make([]int, 0, len(pending))
+	for i, e := range pending {
+		if e.notBefore <= now {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// send enqueues a message into the network. Called from process goroutines.
+// SentAt is stamped at acceptance time under the network lock, and sends
+// from an already-crashed process are refused, so every accepted message
+// satisfies SentAt < crash time of its sender.
+func (s *System) send(m Message) {
+	nb := Time(0)
+	for _, h := range s.cfg.Holds {
+		if h.From.Contains(m.From) && h.To.Contains(m.To) && h.Until > nb {
+			nb = h.Until
+		}
+	}
+	s.mu.Lock()
+	now := s.Now()
+	if s.pattern.Crashed(m.From, now) {
+		s.mu.Unlock()
+		return
+	}
+	m.SentAt = now
+	s.pending = append(s.pending, envelope{msg: m, notBefore: nb})
+	s.mu.Unlock()
+	s.metrics.sent(m.Tag)
+}
+
+// InFlight returns the number of undelivered messages (diagnostics).
+func (s *System) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
