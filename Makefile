@@ -1,0 +1,41 @@
+# fdgrid — build, verify and smoke-test the reproduction.
+#
+#   make ci      vet + build + race tests + sweep smoke run (the full gate)
+#   make test    plain unit tests
+#   make smoke   short parallel sweep through cmd/experiments
+#   make bench   the paper-figure benchmarks
+
+GO ?= go
+
+.PHONY: ci vet build test race smoke bench clean
+
+ci: vet build race smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A short end-to-end sweep: every experiment matrix runs (the full
+# matrix takes under two seconds), the rendered report and canonical
+# JSON land in /tmp. Fails if any experiment reports FAILED. Fewer seeds
+# are not used: EXP-T5's distinct-value witness needs several.
+smoke: build
+	$(GO) run ./cmd/experiments -out /tmp/fdgrid-smoke.md -report /tmp/fdgrid-smoke.json
+	@if grep -q "FAILED" /tmp/fdgrid-smoke.md; then \
+		echo "smoke sweep has FAILED verdicts:"; grep -B1 "FAILED" /tmp/fdgrid-smoke.md; exit 1; \
+	fi
+	@echo "smoke sweep clean: /tmp/fdgrid-smoke.md"
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run XXX .
+
+clean:
+	rm -f /tmp/fdgrid-smoke.md /tmp/fdgrid-smoke.json

@@ -39,6 +39,7 @@ import (
 	"fdgrid/internal/ids"
 	"fdgrid/internal/reduction"
 	"fdgrid/internal/sim"
+	"fdgrid/internal/sweep"
 )
 
 // Identity and set types.
@@ -210,6 +211,52 @@ var (
 	// register substrate ("memory", "heartbeat" or "abd").
 	SpawnAddS = reduction.SpawnAddS
 )
+
+// The scenario-sweep engine.
+type (
+	// SweepMatrix declares a scenario sweep: the protocol under test and
+	// the dimensions (seeds × sizes × crash patterns × class combos)
+	// whose cross product forms the cells.
+	SweepMatrix = sweep.Matrix
+	// SweepSize is one system-size point (n, t).
+	SweepSize = sweep.Size
+	// SweepCrashPattern is one adversary dimension point.
+	SweepCrashPattern = sweep.CrashPattern
+	// SweepCrashSpec schedules one crash (Proc ≤ 0 is relative to n).
+	SweepCrashSpec = sweep.CrashSpec
+	// SweepCombo is one failure-detector dimension point.
+	SweepCombo = sweep.Combo
+	// SweepCell is one concrete point of the cross product.
+	SweepCell = sweep.Cell
+	// SweepCellResult is the structured outcome of one cell.
+	SweepCellResult = sweep.CellResult
+	// SweepReport aggregates a matrix run; its CanonicalJSON is
+	// byte-identical across repeated runs of the same matrix.
+	SweepReport = sweep.Report
+	// SweepOptions configures the worker pool.
+	SweepOptions = sweep.Options
+)
+
+// Sweep expands the matrix and runs every cell on a worker pool, each on
+// an isolated simulated system. Because the simulator is
+// lockstep-deterministic, the aggregated report is a pure function of
+// the matrix: same matrix, same binary → byte-identical canonical JSON,
+// whatever the worker count.
+//
+//	rep, err := fdgrid.Sweep(fdgrid.SweepMatrix{
+//		Name: "two-wheels", Protocol: "two-wheels",
+//		Seeds: []int64{0, 1, 2}, Sizes: []fdgrid.SweepSize{{N: 5, T: 2}},
+//		Combos: []fdgrid.SweepCombo{{X: 2, Y: 1}},
+//		GST: 500, MaxSteps: 100_000,
+//		Params: map[string]int64{"stable_for": 10_000, "margin": 5_000},
+//	}, fdgrid.SweepOptions{})
+//
+// See internal/sweep's runner registry for the built-in protocols; the
+// sweep-based cmd/experiments regenerates every paper figure this way.
+func Sweep(m SweepMatrix, opt SweepOptions) (*SweepReport, error) { return sweep.Run(m, opt) }
+
+// SweepProtocols lists the registered sweep protocol names.
+func SweepProtocols() []string { return sweep.Protocols() }
 
 // AddOmega runs the complete two-wheels addition experiment: it builds
 // AS[n,t] from cfg, runs ◇S_x + ◇φ_y → Ω_z with ground-truth sources,

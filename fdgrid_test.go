@@ -94,3 +94,36 @@ func ExampleKSetPower() {
 	// 1
 	// 4
 }
+
+// TestSweepTopLevel drives the exported scenario-sweep engine end to
+// end: a small k-set matrix runs in parallel, passes, and reproduces
+// byte-identically.
+func TestSweepTopLevel(t *testing.T) {
+	m := fdgrid.SweepMatrix{
+		Name: "top-level", Protocol: "kset-omega",
+		Seeds: []int64{0, 1}, Sizes: []fdgrid.SweepSize{{N: 5, T: 2}},
+		Patterns: []fdgrid.SweepCrashPattern{{Name: "last-crashes",
+			Crashes: []fdgrid.SweepCrashSpec{{Proc: 0, At: 300}}}},
+		Combos: []fdgrid.SweepCombo{{Z: 2}},
+		GST:    200, MaxSteps: 400_000,
+	}
+	r1, err := fdgrid.Sweep(m, fdgrid.SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.OK() {
+		t.Fatalf("sweep failed: %s", r1.Summary())
+	}
+	r2, err := fdgrid.Sweep(m, fdgrid.SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := r1.CanonicalJSON()
+	j2, _ := r2.CanonicalJSON()
+	if string(j1) != string(j2) {
+		t.Fatal("top-level sweep reports are not byte-identical")
+	}
+	if len(fdgrid.SweepProtocols()) < 10 {
+		t.Errorf("expected the built-in protocol registry, got %v", fdgrid.SweepProtocols())
+	}
+}

@@ -1,0 +1,3 @@
+module fdgrid
+
+go 1.24

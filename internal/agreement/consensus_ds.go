@@ -126,7 +126,14 @@ func ConsensusDS(nd *node.Node, rb *rbcast.Layer, susp fd.Suspector, v Value, ou
 		}
 		sawBot, sawVal := false, false
 		var val Value
-		for _, e := range echoes[r] {
+		// Scan in identity order (not map order) so runs are replayable;
+		// all non-⊥ echoes of a round carry the coordinator's estimate,
+		// but a deterministic pick keeps that a non-assumption.
+		for q := 1; q <= n; q++ {
+			e, ok := echoes[r][ids.ProcID(q)]
+			if !ok {
+				continue
+			}
 			if e.Bot {
 				sawBot = true
 			} else {

@@ -122,7 +122,7 @@ func ksetRun(nd *node.Node, rb *rbcast.Layer, oracle fd.Leader, v Value, out *Ou
 		// Phase 1.
 		l := oracle.Trusted(me)
 		env.Broadcast(tags.phase1, phase1Msg{R: r, L: l, Est: est})
-		nd.WaitUntil(func() bool {
+		nd.WaitOn(func() bool {
 			return decided != nil || len(phase1[r]) >= n-t
 		}, handle)
 		if decided != nil {
@@ -141,7 +141,7 @@ func ksetRun(nd *node.Node, rb *rbcast.Layer, oracle fd.Leader, v Value, out *Ou
 
 		// Phase 2.
 		env.Broadcast(tags.phase2, phase2Msg{R: r, Aux: aux, Bot: bot})
-		nd.WaitUntil(func() bool {
+		nd.WaitOn(func() bool {
 			return decided != nil || len(phase2[r]) >= n-t
 		}, handle)
 		if decided != nil {
@@ -149,20 +149,23 @@ func ksetRun(nd *node.Node, rb *rbcast.Layer, oracle fd.Leader, v Value, out *Ou
 		}
 		sawBot := false
 		adopted := false
-		for from, pm := range phase2[r] {
+		// The paper adopts any received non-⊥ value ("takes one
+		// arbitrarily"); this implementation prefers its own echo when
+		// present, else the smallest-id sender's value — a legal choice
+		// that maximizes decision diversity (making the z ≤ k tightness
+		// observable) while keeping runs replayable: senders are scanned
+		// in identity order, never in map order.
+		for q := 1; q <= n; q++ {
+			from := ids.ProcID(q)
+			pm, ok := phase2[r][from]
+			if !ok {
+				continue
+			}
 			if pm.Bot {
 				sawBot = true
 				continue
 			}
-			// The paper adopts any received non-⊥ value ("takes one
-			// arbitrarily"); this implementation prefers its own echo
-			// when present — a legal choice that maximizes decision
-			// diversity, making the z ≤ k tightness observable.
-			switch {
-			case from == me:
-				est = pm.Aux
-				adopted = true
-			case !adopted:
+			if from == me || !adopted {
 				est = pm.Aux
 				adopted = true
 			}
@@ -172,7 +175,7 @@ func ksetRun(nd *node.Node, rb *rbcast.Layer, oracle fd.Leader, v Value, out *Ou
 		}
 		if !sawBot {
 			rb.Broadcast(tags.decision, decisionMsg{Val: est})
-			nd.WaitUntil(func() bool { return decided != nil }, handle)
+			nd.WaitOn(func() bool { return decided != nil }, handle)
 		}
 	}
 

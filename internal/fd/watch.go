@@ -20,6 +20,7 @@ type SetSample struct {
 // with the Check* methods in check.go.
 type SetTrace struct {
 	mu      sync.Mutex
+	sys     *sim.System
 	n       int
 	byProc  map[ids.ProcID][]SetSample
 	last    map[ids.ProcID]ids.Set
@@ -27,8 +28,10 @@ type SetTrace struct {
 	horizon sim.Time
 }
 
-func newSetTrace(n int) *SetTrace {
+func newSetTrace(sys *sim.System) *SetTrace {
+	n := sys.Config().N
 	return &SetTrace{
+		sys:     sys,
 		n:       n,
 		byProc:  make(map[ids.ProcID][]SetSample, n),
 		last:    make(map[ids.ProcID]ids.Set, n),
@@ -36,36 +39,54 @@ func newSetTrace(n int) *SetTrace {
 	}
 }
 
-// WatchLeader samples l.Trusted(p) for every process on every tick.
-func WatchLeader(sys *sim.System, l Leader) *SetTrace {
-	tr := newSetTrace(sys.Config().N)
-	sys.OnTick(func(now sim.Time) {
+// watchSets installs a sampler for a per-process set-valued output.
+// Dense samplers observe every tick (and force the clock dense); sparse
+// ones observe every scheduled tick, which suffices for emulated outputs
+// because those change only when a process takes a step.
+func watchSets(sys *sim.System, dense bool, read func(ids.ProcID) ids.Set) *SetTrace {
+	tr := newSetTrace(sys)
+	sample := func(now sim.Time) {
 		for p := 1; p <= tr.n; p++ {
 			id := ids.ProcID(p)
 			if sys.Pattern().Crashed(id, now) {
 				continue
 			}
-			tr.observe(id, now, l.Trusted(id))
+			tr.observe(id, now, read(id))
 		}
 		tr.tick(now)
-	})
+	}
+	if dense {
+		sys.OnTick(sample)
+	} else {
+		sys.OnAdvance(sample)
+	}
 	return tr
+}
+
+// WatchLeader samples l.Trusted(p) for every process on every tick
+// (dense: the run never skips a tick, so time-driven oracle churn is
+// captured exactly).
+func WatchLeader(sys *sim.System, l Leader) *SetTrace {
+	return watchSets(sys, true, l.Trusted)
 }
 
 // WatchSuspector samples s.Suspected(p) for every process on every tick.
 func WatchSuspector(sys *sim.System, s Suspector) *SetTrace {
-	tr := newSetTrace(sys.Config().N)
-	sys.OnTick(func(now sim.Time) {
-		for p := 1; p <= tr.n; p++ {
-			id := ids.ProcID(p)
-			if sys.Pattern().Crashed(id, now) {
-				continue
-			}
-			tr.observe(id, now, s.Suspected(id))
-		}
-		tr.tick(now)
-	})
-	return tr
+	return watchSets(sys, true, s.Suspected)
+}
+
+// WatchLeaderSparse samples l.Trusted(p) at every scheduled tick, letting
+// the scheduler skip idle virtual time. Use it for emulated outputs
+// (whose value changes only when a process takes a step); for
+// ground-truth oracles, whose anarchy churns with the clock itself, the
+// dense WatchLeader records the exact timeline.
+func WatchLeaderSparse(sys *sim.System, l Leader) *SetTrace {
+	return watchSets(sys, false, l.Trusted)
+}
+
+// WatchSuspectorSparse is WatchLeaderSparse for suspectors.
+func WatchSuspectorSparse(sys *sim.System, s Suspector) *SetTrace {
+	return watchSets(sys, false, s.Suspected)
 }
 
 func (tr *SetTrace) observe(p ids.ProcID, now sim.Time, v ids.Set) {
@@ -93,20 +114,31 @@ func (tr *SetTrace) tick(now sim.Time) {
 func (tr *SetTrace) StableFor(procs ids.Set, margin sim.Time) func() bool {
 	return func() bool {
 		tr.mu.Lock()
-		defer tr.mu.Unlock()
 		stable := true
+		var lastChange sim.Time = -1
 		procs.ForEach(func(p ids.ProcID) bool {
 			if !tr.started[p] {
 				stable = false
 				return false
 			}
 			ss := tr.byProc[p]
-			if len(ss) > 0 && tr.horizon-ss[len(ss)-1].At < margin {
-				stable = false
-				return false
+			if len(ss) > 0 {
+				at := ss[len(ss)-1].At
+				if at > lastChange {
+					lastChange = at
+				}
+				if tr.horizon-at < margin {
+					stable = false
+				}
 			}
 			return true
 		})
+		tr.mu.Unlock()
+		if !stable && lastChange >= 0 {
+			// Tell the scheduler when this predicate can next flip, so
+			// clock jumps land on (not past) the earliest stopping tick.
+			tr.sys.WakeAt(lastChange + margin)
+		}
 		return stable
 	}
 }

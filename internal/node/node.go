@@ -29,6 +29,17 @@ type Layer interface {
 	Poll()
 }
 
+// WakeHinter is an optional Layer extension declaring when the layer's
+// Poll next needs to run without a message having arrived: NextWake
+// returns the earliest future tick at which the layer's autonomous tasks
+// may have something to do (sim.Never for purely message-driven layers).
+// The node sleeps until the earliest layer hint — a layer that does not
+// implement WakeHinter keeps the node waking every tick, which is always
+// correct but prevents the scheduler from skipping idle virtual time.
+type WakeHinter interface {
+	NextWake(now sim.Time) sim.Time
+}
+
 // Node is one process's protocol stack.
 type Node struct {
 	env    *sim.Env
@@ -51,7 +62,30 @@ func (nd *Node) Push(l Layer) { nd.layers = append(nd.layers, l) }
 // stack. It returns (msg, true) if a message survived to the top, and
 // (Message{}, false) on ticks or consumed messages.
 func (nd *Node) Step() (sim.Message, bool) {
-	m, ok := nd.env.Step()
+	return nd.step(nd.env.Now() + 1)
+}
+
+// StepUntil is Step with a wake condition for the top-level protocol: the
+// node blocks until a message arrives or the clock reaches wake — or any
+// layer's NextWake hint, whichever is earliest. A top level whose wait is
+// purely message-driven passes sim.Never.
+func (nd *Node) StepUntil(wake sim.Time) (sim.Message, bool) {
+	return nd.step(wake)
+}
+
+func (nd *Node) step(wake sim.Time) (sim.Message, bool) {
+	now := nd.env.Now()
+	for _, l := range nd.layers {
+		h, ok := l.(WakeHinter)
+		if !ok {
+			wake = now + 1
+			break
+		}
+		if w := h.NextWake(now); w < wake {
+			wake = w
+		}
+	}
+	m, ok := nd.env.StepUntil(wake)
 	if ok {
 		for _, l := range nd.layers {
 			m, ok = l.Handle(m)
@@ -68,10 +102,24 @@ func (nd *Node) Step() (sim.Message, bool) {
 
 // WaitUntil runs the event loop until pred() holds, feeding surviving
 // messages to onMsg (may be nil). pred is evaluated before the first step
-// and after every step.
+// and after every step. The node wakes on every tick, so pred may depend
+// on anything (time, oracle outputs, messages).
 func (nd *Node) WaitUntil(pred func() bool, onMsg func(sim.Message)) {
 	for !pred() {
 		m, ok := nd.Step()
+		if ok && onMsg != nil {
+			onMsg(m)
+		}
+	}
+}
+
+// WaitOn is WaitUntil for message-driven predicates: pred may only
+// change when a message is handled (by a layer or onMsg), so the node
+// sleeps between messages instead of waking every tick. Layer wake
+// hints still apply.
+func (nd *Node) WaitOn(pred func() bool, onMsg func(sim.Message)) {
+	for !pred() {
+		m, ok := nd.StepUntil(sim.Never)
 		if ok && onMsg != nil {
 			onMsg(m)
 		}
@@ -82,7 +130,13 @@ func (nd *Node) WaitUntil(pred func() bool, onMsg func(sim.Message)) {
 // run stops (the Env unwinds the goroutine). Used by transformation-only
 // processes that have no top-level protocol.
 func (nd *Node) RunForever() {
+	// Initial poll round: layer autonomous tasks take their first step
+	// before the node first parks (with wake hints the first pure time
+	// wake may otherwise never come).
+	for _, l := range nd.layers {
+		l.Poll()
+	}
 	for {
-		nd.Step()
+		nd.StepUntil(sim.Never)
 	}
 }

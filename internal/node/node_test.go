@@ -73,7 +73,8 @@ func TestStackFiltersBottomUp(t *testing.T) {
 	sys.Run(func() bool {
 		mu.Lock()
 		defer mu.Unlock()
-		return len(got) >= 2
+		h, _ := bottom.counts()
+		return h == 3 && len(got) >= 2
 	})
 	mu.Lock()
 	defer mu.Unlock()

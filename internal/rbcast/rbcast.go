@@ -70,6 +70,10 @@ func WireTag(tag string) string { return framePrefix + tag }
 // Poll implements node.Layer; the relay logic is purely message-driven.
 func (l *Layer) Poll() {}
 
+// NextWake implements node.WakeHinter: the relay never needs a pure time
+// wake.
+func (l *Layer) NextWake(sim.Time) sim.Time { return sim.Never }
+
 // Handle implements node.Layer. It filters one raw message from the
 // event loop.
 //

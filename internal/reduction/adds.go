@@ -45,6 +45,10 @@ func (e *SEmulation) Suspected(p ids.ProcID) ids.Set {
 	return e.sets[p]
 }
 
+// NextChange implements fd.ChangeHinted: the emulation changes only when
+// a host process takes a step, never from time passing alone.
+func (e *SEmulation) NextChange(sim.Time) sim.Time { return sim.Never }
+
 // RunAddS runs the paper's Appendix B algorithm (Fig. 9) forever on one
 // process: the addition S_x + φ_y → S_n (◇S_x + ◇φ_y → ◇S_n), legal
 // when x+y > t.
@@ -70,7 +74,9 @@ func RunAddS(nd *node.Node, store register.Store, susp fd.Suspector, quer fd.Que
 
 	for {
 		if env.Now()-last < gap {
-			nd.Step()
+			// Declared wake condition: nothing to do before last+gap
+			// unless a message (register traffic) arrives.
+			nd.StepUntil(last + gap)
 			continue
 		}
 		last = env.Now()
@@ -106,7 +112,7 @@ func RunAddS(nd *node.Node, store register.Store, susp fd.Suspector, quer fd.Que
 			emu.set(me, inter.Minus(live))
 		}
 
-		nd.Step()
+		nd.StepUntil(last + gap)
 	}
 }
 
@@ -119,7 +125,7 @@ func RunAddS(nd *node.Node, store register.Store, susp fd.Suspector, quer fd.Que
 //	"abd"       — ABD atomic registers, t < n/2.
 func SpawnAddS(sys *sim.System, susp fd.Suspector, quer fd.Querier, substrate string) *SEmulation {
 	emu := NewSEmulation()
-	gap := sim.Time(2 * sys.Config().N)
+	gap := sim.Time(4 * sys.Config().N)
 	var mem *register.Memory
 	if substrate == "memory" {
 		mem = register.NewMemory()

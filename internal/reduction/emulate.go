@@ -34,6 +34,12 @@ func (e *OmegaEmulation) Register(p ids.ProcID, w *UpperWheel) {
 	e.wheels[p] = w
 }
 
+// NextChange implements fd.ChangeHinted: wheel positions change only when
+// a host process takes a step. (The exposed Trusted value also consults
+// the underlying querier live; consumers that poll it across time should
+// hint off that querier instead.)
+func (e *OmegaEmulation) NextChange(sim.Time) sim.Time { return sim.Never }
+
 // Trusted implements fd.Leader.
 func (e *OmegaEmulation) Trusted(p ids.ProcID) ids.Set {
 	e.mu.RLock()

@@ -101,6 +101,14 @@ func (w *LowerWheel) Moves() int {
 	return w.moves
 }
 
+// NextWake implements node.WakeHinter: with no message in play, the
+// wheel only needs to act when the suspector's output can change (the
+// suspicious-poll in task T1); buffered moves are consumed on the message
+// wake that delivered them.
+func (w *LowerWheel) NextWake(now sim.Time) sim.Time {
+	return fd.NextChangeOf(w.susp, now)
+}
+
 // Handle implements node.Layer: it buffers x_move messages (already
 // R-delivered by the rbcast layer below) for deferred consumption.
 func (w *LowerWheel) Handle(m sim.Message) (sim.Message, bool) {

@@ -82,7 +82,7 @@ func NewUpperWheel(env *sim.Env, rb *rbcast.Layer, q fd.Querier, lower *LowerWhe
 		ring:        ids.NewLYRing(n, ySize, z),
 		buffered:    make(map[ids.LYPos]int),
 		responses:   make(map[ids.ProcID]ids.ProcID, n),
-		gap:         sim.Time(2 * n),
+		gap:         sim.Time(4 * n),
 		lastInquiry: -1 << 30,
 	}
 	w.pos = w.ring.Current()
@@ -131,6 +131,17 @@ func (w *UpperWheel) Trusted() ids.Set {
 		}
 	}
 	return ids.EmptySet() // unreachable while crashes ≤ t
+}
+
+// NextWake implements node.WakeHinter: between inquiry rounds the wheel
+// sleeps until the pacing gap elapses; while waiting for responses it
+// only needs a pure time wake when the querier's answer to query(Y_i)
+// can change (responses themselves arrive as messages).
+func (w *UpperWheel) NextWake(now sim.Time) sim.Time {
+	if !w.waiting {
+		return w.lastInquiry + w.gap
+	}
+	return fd.NextChangeOf(w.q, now)
 }
 
 // Handle implements node.Layer.

@@ -103,7 +103,7 @@ func (a *ABD) Write(name string, v any) {
 	a.nextOp++
 	op := a.nextOp
 	a.env.Broadcast(tagABDWrite, abdWrite{Op: op, Name: name, TS: a.wts, Val: v})
-	a.nd.WaitUntil(func() bool { return a.acks[op] >= a.quorum() }, nil)
+	a.nd.WaitOn(func() bool { return a.acks[op] >= a.quorum() }, nil)
 	delete(a.acks, op)
 }
 
@@ -113,7 +113,7 @@ func (a *ABD) Read(owner ids.ProcID, name string) any {
 	a.nextOp++
 	op := a.nextOp
 	a.env.Broadcast(tagABDRead, abdRead{Op: op, Owner: owner, Name: name})
-	a.nd.WaitUntil(func() bool { return len(a.replies[op]) >= a.quorum() }, nil)
+	a.nd.WaitOn(func() bool { return len(a.replies[op]) >= a.quorum() }, nil)
 	best := tsVal{}
 	for _, r := range a.replies[op] {
 		if r.ts > best.ts {
@@ -128,7 +128,7 @@ func (a *ABD) Read(owner ids.ProcID, name string) any {
 	a.nextOp++
 	wb := a.nextOp
 	a.env.Broadcast(tagABDWriteBack, abdWriteBack{Op: wb, Owner: owner, Name: name, TS: best.ts, Val: best.val})
-	a.nd.WaitUntil(func() bool { return a.acks[wb] >= a.quorum() }, nil)
+	a.nd.WaitOn(func() bool { return a.acks[wb] >= a.quorum() }, nil)
 	delete(a.acks, wb)
 	return best.val
 }
@@ -189,3 +189,7 @@ func (a *ABD) apply(k key, ts int64, val any) {
 
 // Poll implements node.Layer.
 func (a *ABD) Poll() {}
+
+// NextWake implements node.WakeHinter: the substrate is purely
+// message-driven.
+func (a *ABD) NextWake(sim.Time) sim.Time { return sim.Never }

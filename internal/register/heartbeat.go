@@ -89,3 +89,7 @@ func (h *Heartbeat) Handle(m sim.Message) (sim.Message, bool) {
 
 // Poll implements node.Layer.
 func (h *Heartbeat) Poll() {}
+
+// NextWake implements node.WakeHinter: the substrate is purely
+// message-driven.
+func (h *Heartbeat) NextWake(sim.Time) sim.Time { return sim.Never }

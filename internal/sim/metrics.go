@@ -3,57 +3,70 @@ package sim
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Metrics counts message traffic per tag. All methods are safe for
-// concurrent use.
+// concurrent use. Counters are atomic; the map of tags is read-mostly
+// (the tag set of a protocol is small and fixed), so the hot bump path
+// takes only a read lock.
 type Metrics struct {
-	mu        sync.Mutex
-	sentN     map[string]int64
-	deliverN  map[string]int64
-	droppedN  map[string]int64
-	totalSent int64
+	mu        sync.RWMutex
+	counters  map[string]*tagCounts
+	totalSent atomic.Int64
+}
+
+type tagCounts struct {
+	sent, delivered, dropped atomic.Int64
 }
 
 func newMetrics() *Metrics {
-	return &Metrics{
-		sentN:    make(map[string]int64),
-		deliverN: make(map[string]int64),
-		droppedN: make(map[string]int64),
+	return &Metrics{counters: make(map[string]*tagCounts)}
+}
+
+func (m *Metrics) tag(tag string) *tagCounts {
+	m.mu.RLock()
+	c := m.counters[tag]
+	m.mu.RUnlock()
+	if c != nil {
+		return c
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c = m.counters[tag]; c == nil {
+		c = &tagCounts{}
+		m.counters[tag] = c
+	}
+	return c
 }
 
 func (m *Metrics) sent(tag string) {
-	m.mu.Lock()
-	m.sentN[tag]++
-	m.totalSent++
-	m.mu.Unlock()
+	m.tag(tag).sent.Add(1)
+	m.totalSent.Add(1)
 }
 
 func (m *Metrics) delivered(tag string) {
-	m.mu.Lock()
-	m.deliverN[tag]++
-	m.mu.Unlock()
+	m.tag(tag).delivered.Add(1)
 }
 
 func (m *Metrics) dropped(tag string) {
-	m.mu.Lock()
-	m.droppedN[tag]++
-	m.mu.Unlock()
+	m.tag(tag).dropped.Add(1)
 }
 
 // Sent returns how many messages with the given tag have been sent.
 func (m *Metrics) Sent(tag string) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.sentN[tag]
+	m.mu.RLock()
+	c := m.counters[tag]
+	m.mu.RUnlock()
+	if c == nil {
+		return 0
+	}
+	return c.sent.Load()
 }
 
 // TotalSent returns the total number of messages sent so far.
 func (m *Metrics) TotalSent() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.totalSent
+	return m.totalSent.Load()
 }
 
 // MetricsSnapshot is an immutable copy of the counters.
@@ -64,16 +77,29 @@ type MetricsSnapshot struct {
 	TotalSent int64
 }
 
-// Snapshot copies the current counters.
+// Snapshot copies the current counters. Tags with a zero count are
+// omitted from the respective map, as before.
 func (m *Metrics) Snapshot() MetricsSnapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return MetricsSnapshot{
-		Sent:      copyCounts(m.sentN),
-		Delivered: copyCounts(m.deliverN),
-		Dropped:   copyCounts(m.droppedN),
-		TotalSent: m.totalSent,
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	snap := MetricsSnapshot{
+		Sent:      make(map[string]int64, len(m.counters)),
+		Delivered: make(map[string]int64, len(m.counters)),
+		Dropped:   make(map[string]int64, len(m.counters)),
+		TotalSent: m.totalSent.Load(),
 	}
+	for tag, c := range m.counters {
+		if v := c.sent.Load(); v != 0 {
+			snap.Sent[tag] = v
+		}
+		if v := c.delivered.Load(); v != 0 {
+			snap.Delivered[tag] = v
+		}
+		if v := c.dropped.Load(); v != 0 {
+			snap.Dropped[tag] = v
+		}
+	}
+	return snap
 }
 
 // Tags returns the message tags seen so far, sorted.
@@ -91,12 +117,4 @@ func (s MetricsSnapshot) Tags() []string {
 	}
 	sort.Strings(tags)
 	return tags
-}
-
-func copyCounts(in map[string]int64) map[string]int64 {
-	out := make(map[string]int64, len(in))
-	for k, v := range in {
-		out[k] = v
-	}
-	return out
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"fdgrid/internal/ids"
 )
@@ -37,7 +38,11 @@ type Proc struct {
 	inbox    []Message
 	nextRead int
 	dead     bool
-	wakes    uint64
+	exited   bool
+	parked   bool // blocked in StepUntil, waiting on the scheduler
+
+	// deadFlag mirrors dead for lock-free reads on the hot Send path.
+	deadFlag atomic.Bool
 }
 
 func newProc(id ids.ProcID, sys *System) *Proc {
@@ -46,25 +51,33 @@ func newProc(id ids.ProcID, sys *System) *Proc {
 	return p
 }
 
-func (p *Proc) deliver(m Message) {
+// enqueue appends a delivered message to the inbox. The scheduler calls
+// it during the delivery phase, while the process is parked; the process
+// is woken afterwards by the wake phase, so no broadcast happens here.
+func (p *Proc) enqueue(m Message) {
 	p.mu.Lock()
 	p.inbox = append(p.inbox, m)
 	p.mu.Unlock()
-	p.cond.Broadcast()
 }
 
-func (p *Proc) wake() {
-	p.mu.Lock()
-	p.wakes++
-	p.mu.Unlock()
-	p.cond.Broadcast()
-}
-
+// kill marks the process dead and wakes it so a parked goroutine unwinds.
+// Used by Run's teardown; in-run crashes go through System.killAt, which
+// also maintains the quiescence accounting.
 func (p *Proc) kill() {
 	p.mu.Lock()
 	p.dead = true
+	p.deadFlag.Store(true)
+	p.parked = false
 	p.mu.Unlock()
 	p.cond.Broadcast()
+}
+
+// markDead flags an initially-crashed process that never gets a goroutine.
+func (p *Proc) markDead() {
+	p.mu.Lock()
+	p.dead = true
+	p.deadFlag.Store(true)
+	p.mu.Unlock()
 }
 
 // Env is the interface protocol code uses to interact with the system.
@@ -91,12 +104,9 @@ func (e *Env) All() ids.Set { return ids.FullSet(e.N()) }
 func (e *Env) Now() Time { return e.p.sys.Now() }
 
 // checkAlive unwinds the goroutine if the process crashed or the run
-// stopped. Must be called with p.mu NOT held.
+// stopped.
 func (e *Env) checkAlive() {
-	e.p.mu.Lock()
-	dead := e.p.dead
-	e.p.mu.Unlock()
-	if dead {
+	if e.p.deadFlag.Load() {
 		panic(procKilled{})
 	}
 }
@@ -132,8 +142,31 @@ func (e *Env) Broadcast(tag string, payload any) {
 // clock tick (time advanced, oracle outputs may have changed) it returns
 // (Message{}, false). Protocol event loops call Step repeatedly and
 // re-evaluate their wait conditions after each return.
+//
+// Step is StepUntil with the next tick as the wake condition: a process
+// using it is woken on every tick, which is always correct but prevents
+// the scheduler from skipping idle stretches of virtual time.
 func (e *Env) Step() (Message, bool) {
+	return e.StepUntil(0)
+}
+
+// StepUntil is Step with a declared wake condition: it blocks until a new
+// message is available (returning it with true) or the virtual clock has
+// reached wake (returning (Message{}, false)). A process whose waits are
+// purely message-driven passes Never; one pacing itself ("act again at
+// time τ") passes τ. The declared deadline is what lets the scheduler
+// wake only the processes that need the current tick — and skip ticks
+// nobody needs at all.
+//
+// A wake time at or before the current tick behaves like Step: the call
+// always blocks until at least the next tick, so loops around StepUntil
+// cannot spin without yielding to the scheduler.
+func (e *Env) StepUntil(wake Time) (Message, bool) {
 	p := e.p
+	s := p.sys
+	if now := s.Now(); wake <= now {
+		wake = now + 1
+	}
 	p.mu.Lock()
 	for {
 		if p.dead {
@@ -142,18 +175,34 @@ func (e *Env) Step() (Message, bool) {
 		}
 		if p.nextRead < len(p.inbox) {
 			m := p.inbox[p.nextRead]
+			p.inbox[p.nextRead] = Message{}
 			p.nextRead++
 			p.mu.Unlock()
 			return m, true
 		}
-		seen := p.wakes
-		for p.wakes == seen && p.nextRead >= len(p.inbox) && !p.dead {
-			p.cond.Wait()
+		if p.nextRead > 0 {
+			// Inbox fully drained: reset it so long runs reuse the same
+			// backing array instead of growing it forever.
+			p.inbox = p.inbox[:0]
+			p.nextRead = 0
 		}
-		if p.nextRead >= len(p.inbox) && !p.dead {
-			// Woken by a tick, not a message.
+		if s.Now() >= wake {
 			p.mu.Unlock()
 			return Message{}, false
+		}
+		// Park: declare the wake condition and hand control back to the
+		// scheduler. The scheduler clears parked before broadcasting.
+		p.parked = true
+		s.qmu.Lock()
+		s.parkedSet |= 1 << uint(p.id-1)
+		s.deadlines[p.id] = wake
+		s.active--
+		if s.active == 0 {
+			s.qcond.Broadcast()
+		}
+		s.qmu.Unlock()
+		for p.parked && !p.dead {
+			p.cond.Wait()
 		}
 	}
 }

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"fdgrid/internal/ids"
+)
+
+// TestStepUntilWakesAtDeadline: a process parked with a declared wake
+// time is woken exactly there (and the idle stretch is skipped — the run
+// schedules far fewer ticks than it spans).
+func TestStepUntilWakesAtDeadline(t *testing.T) {
+	s := MustNew(Config{N: 1, T: 0, Seed: 1, MaxSteps: 100_000})
+	var wokenAt atomic.Int64
+	scheduled := 0
+	s.OnAdvance(func(Time) { scheduled++ })
+	s.Spawn(1, func(e *Env) {
+		e.StepUntil(40_000)
+		wokenAt.Store(int64(e.Now()))
+	})
+	s.Run(func() bool { return wokenAt.Load() > 0 })
+	if got := wokenAt.Load(); got != 40_000 {
+		t.Errorf("woken at %d, want 40000", got)
+	}
+	if scheduled > 10 {
+		t.Errorf("%d ticks scheduled for an idle 40k-tick wait; want a handful", scheduled)
+	}
+}
+
+// TestStepUntilReturnsEarlyOnMessage: a message interrupts the time wait.
+func TestStepUntilReturnsEarlyOnMessage(t *testing.T) {
+	s := MustNew(Config{N: 2, T: 0, Seed: 2, MaxSteps: 50_000})
+	var got atomic.Int64
+	got.Store(-1)
+	s.Spawn(1, func(e *Env) {
+		m, ok := e.StepUntil(40_000)
+		if ok && m.Tag == "poke" {
+			got.Store(int64(e.Now()))
+		}
+	})
+	s.Spawn(2, func(e *Env) {
+		e.StepUntil(100) // let some time pass first
+		e.Send(1, "poke", nil)
+		for {
+			e.StepUntil(Never)
+		}
+	})
+	s.Run(func() bool { return got.Load() >= 0 })
+	if at := got.Load(); at < 0 || at > 1_000 {
+		t.Errorf("message received at %d, want shortly after 100", at)
+	}
+}
+
+// TestClockJumpRespectsHolds: with every process message-parked, the
+// clock jumps to the hold release, not past it.
+func TestClockJumpRespectsHolds(t *testing.T) {
+	s := MustNew(Config{
+		N: 2, T: 0, Seed: 3, MaxSteps: 500_000,
+		Holds: []Hold{{From: ids.NewSet(1), To: ids.NewSet(2), Until: 12_345}},
+	})
+	var deliveredAt atomic.Int64
+	deliveredAt.Store(-1)
+	s.Spawn(1, func(e *Env) {
+		e.Send(2, "held", nil)
+		for {
+			e.StepUntil(Never)
+		}
+	})
+	s.Spawn(2, func(e *Env) {
+		for {
+			if m, ok := e.StepUntil(Never); ok && m.Tag == "held" {
+				deliveredAt.Store(int64(m.DeliveredAt))
+			}
+		}
+	})
+	s.Run(func() bool { return deliveredAt.Load() >= 0 })
+	if at := deliveredAt.Load(); at != 12_345 {
+		t.Errorf("held message delivered at %d, want exactly the release tick 12345", at)
+	}
+}
+
+// TestClockJumpRespectsCrashes: crashes land on their exact tick even
+// when everything is idle, and OnAdvance observes that tick.
+func TestClockJumpRespectsCrashes(t *testing.T) {
+	s := MustNew(Config{
+		N: 2, T: 1, Seed: 4, MaxSteps: 300_000,
+		Crashes: map[ids.ProcID]Time{2: 77_000},
+	})
+	s.SpawnAll(func(e *Env) {
+		for {
+			e.StepUntil(Never)
+		}
+	})
+	var sawCrashTick atomic.Bool
+	s.OnAdvance(func(now Time) {
+		if now == 77_000 {
+			sawCrashTick.Store(true)
+		}
+	})
+	env := s.Env(2)
+	s.Run(func() bool { return env.Crashed() && s.Now() > 77_000 })
+	if !sawCrashTick.Load() {
+		t.Error("the crash tick was skipped")
+	}
+}
+
+// TestWakeAtSchedulesTick: an external hint forces a scheduled tick so
+// time-dependent stop predicates fire on time.
+func TestWakeAtSchedulesTick(t *testing.T) {
+	s := MustNew(Config{N: 1, T: 0, Seed: 5, MaxSteps: 1_000_000})
+	s.Spawn(1, func(e *Env) {
+		for {
+			e.StepUntil(Never)
+		}
+	})
+	s.WakeAt(33_000)
+	rep := s.Run(func() bool { return s.Now() >= 33_000 })
+	if !rep.StoppedEarly {
+		t.Fatal("stop predicate never fired")
+	}
+	if rep.Steps != 33_000 {
+		t.Errorf("stopped at %d, want exactly the hinted tick 33000", rep.Steps)
+	}
+}
+
+// TestOnTickForcesDenseClock: registering a dense sampler disables
+// skipping entirely.
+func TestOnTickForcesDenseClock(t *testing.T) {
+	s := MustNew(Config{N: 1, T: 0, Seed: 6, MaxSteps: 2_000})
+	ticks := 0
+	s.OnTick(func(Time) { ticks++ })
+	s.Spawn(1, func(e *Env) {
+		for {
+			e.StepUntil(Never)
+		}
+	})
+	s.Run(nil)
+	if ticks != 2_000 {
+		t.Errorf("dense run scheduled %d ticks, want 2000", ticks)
+	}
+}
+
+// TestDeterministicDeliveryOrder: two identical systems deliver the same
+// messages in the same order at the same virtual times — the foundation
+// of the sweep engine's reproducible reports.
+func TestDeterministicDeliveryOrder(t *testing.T) {
+	trace := func() []Message {
+		s := MustNew(Config{N: 4, T: 0, Seed: 42, MaxSteps: 20_000})
+		var mu atomic.Int64
+		var log []Message
+		done := make(chan struct{})
+		_ = done
+		s.SpawnAll(func(e *Env) {
+			e.Broadcast("m", int(e.ID()))
+			for {
+				m, ok := e.Step()
+				if ok && e.ID() == 1 {
+					log = append(log, m)
+					mu.Add(1)
+				}
+			}
+		})
+		s.Run(func() bool { return mu.Load() >= 4 })
+		return log
+	}
+	a, b := trace(), trace()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].From != b[i].From || a[i].SentAt != b[i].SentAt || a[i].DeliveredAt != b[i].DeliveredAt {
+			t.Fatalf("delivery %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestLockstepSequencing: processes take steps one at a time — a shared
+// unsynchronized counter incremented in every step never races (run with
+// -race) and every process observes a consistent clock.
+func TestLockstepSequencing(t *testing.T) {
+	s := MustNew(Config{N: 6, T: 0, Seed: 7, MaxSteps: 500})
+	counter := 0 // deliberately unsynchronized: lockstep must serialize access
+	s.SpawnAll(func(e *Env) {
+		for {
+			counter++
+			if now := e.Now(); Time(s.now.Load()) != now {
+				t.Error("clock moved while a process was running")
+				return
+			}
+			e.Step()
+		}
+	})
+	s.Run(nil)
+	if counter < 6*499 {
+		t.Errorf("counter = %d, want about 6*500 steps", counter)
+	}
+}

@@ -2,13 +2,24 @@
 // AS[n,t] of the paper: n processes that communicate over reliable but
 // arbitrarily slow channels, of which at most t may crash.
 //
-// Processes run as goroutines. A central scheduler (the "adversary")
-// advances a virtual clock one tick at a time; on each tick it delivers
-// one in-flight message chosen uniformly at random (seeded), applies
-// scheduled crashes, and wakes every process so that waits re-evaluate
-// their conditions. Arbitrary-but-finite message delays and arbitrary
-// crash patterns — exactly the adversary the asynchronous model
-// quantifies over — are thus sampled reproducibly.
+// Processes run as goroutines, but execution is lockstep and sequential:
+// a central scheduler (the "adversary") advances a virtual clock; on each
+// tick it applies scheduled crashes, delivers up to Bandwidth in-flight
+// messages chosen uniformly at random (seeded), and then wakes — one at a
+// time, in identity order — exactly the processes whose wait condition is
+// due (a new message, or a declared wake time reached; see Env.StepUntil).
+// The scheduler only proceeds once the woken process has parked again, so
+// a run is a deterministic function of its Config: same seed, same
+// delivery order, same process steps, same result. Arbitrary-but-finite
+// message delays and arbitrary crash patterns — exactly the adversary the
+// asynchronous model quantifies over — are thus sampled reproducibly.
+//
+// Undeliverable stretches of virtual time are skipped: when no message is
+// eligible, no process wake is due and no crash or hold release falls in
+// between, the clock jumps directly to the next relevant tick. Dense
+// per-tick samplers (OnTick) disable skipping; sparse samplers
+// (OnAdvance) observe every scheduled tick, which is every tick at which
+// anything can happen.
 //
 // Crash semantics: once a process is crashed, its next interaction with
 // the environment unwinds its goroutine (an internal sentinel panic that
@@ -18,11 +29,11 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
-	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"fdgrid/internal/ids"
 )
@@ -168,44 +179,101 @@ type System struct {
 	procs   []*Proc // index 1..N
 	metrics *Metrics
 
-	mu      sync.Mutex
-	pending []envelope
+	// Network state: messages accepted but not yet routed (arrivals),
+	// deliverable messages (eligible) and messages bucketed by the tick
+	// their scripted hold releases them (held, keys sorted in heldTimes).
+	mu        sync.Mutex
+	arrivals  []envelope
+	eligible  []envelope
+	held      map[Time][]envelope
+	heldTimes []Time
+	batch     []Message // delivery scratch, reused across ticks
 
-	stopFlag atomic.Bool
-	wg       sync.WaitGroup
-	ran      bool
-	onTick   []func(Time)
+	// Quiescence accounting: active counts process goroutines currently
+	// running (launched or woken, not yet parked or exited). The
+	// scheduler blocks on qcond until active returns to zero. parkedSet
+	// and deadlines mirror each parked process's wake condition
+	// (maintained by the parking process under qmu), and inboxDue marks
+	// parked processes the delivery phase enqueued messages for — so the
+	// per-tick scans touch one lock instead of every process's.
+	qmu       sync.Mutex
+	qcond     *sync.Cond
+	active    int
+	parkedSet uint64
+	inboxDue  uint64
+	deadlines []Time // index 1..N; valid while the proc's parkedSet bit is set
+
+	// External wake hints (WakeAt), kept sorted ascending.
+	hintMu sync.Mutex
+	hints  []Time
+
+	crashTimes []Time // sorted crash ticks, for clock jumps
+
+	stopFlag  atomic.Bool
+	wg        sync.WaitGroup
+	ran       bool
+	onTick    []func(Time)
+	onAdvance []func(Time)
 
 	panicMu  sync.Mutex
 	panicVal any
-	panicked bool
+	panicked atomic.Bool
 }
 
 // recordPanic stores the first protocol panic; Run re-raises it on the
 // caller's goroutine once every process goroutine has been joined.
 func (s *System) recordPanic(v any) {
 	s.panicMu.Lock()
-	if !s.panicked {
-		s.panicked = true
+	if !s.panicked.Load() {
 		s.panicVal = v
+		s.panicked.Store(true)
 	}
 	s.panicMu.Unlock()
 }
 
 func (s *System) hasPanicked() bool {
-	s.panicMu.Lock()
-	defer s.panicMu.Unlock()
-	return s.panicked
+	return s.panicked.Load()
 }
 
 // OnTick registers fn to run on the scheduler goroutine once per tick,
-// after deliveries and wake-ups. Trace recorders use it to sample failure
-// detector outputs. Must be called before Run.
+// after deliveries, before processes observe the tick. Registering any
+// OnTick callback makes the clock dense: no tick is ever skipped, so
+// samplers may match exact tick values. Must be called before Run.
 func (s *System) OnTick(fn func(Time)) {
 	if s.ran {
 		panic("sim: OnTick after Run")
 	}
 	s.onTick = append(s.onTick, fn)
+}
+
+// OnAdvance registers fn to run once per *scheduled* tick — every tick at
+// which a delivery, crash, hold release or process wake can happen.
+// Unlike OnTick it does not force the clock dense: provably idle
+// stretches may still be skipped. Since processes only take steps at
+// scheduled ticks, an OnAdvance sampler still observes every state
+// change. Must be called before Run.
+func (s *System) OnAdvance(fn func(Time)) {
+	if s.ran {
+		panic("sim: OnAdvance after Run")
+	}
+	s.onAdvance = append(s.onAdvance, fn)
+}
+
+// WakeAt asks the scheduler to schedule a tick at time t even if nothing
+// else is due then. Stop predicates whose truth flips at a known future
+// time (e.g. "stable for d ticks") register it here so clock jumps do not
+// overshoot the earliest stopping point. Safe to call from stop
+// predicates and OnTick/OnAdvance callbacks; stale times are ignored.
+func (s *System) WakeAt(t Time) {
+	s.hintMu.Lock()
+	defer s.hintMu.Unlock()
+	i := sort.Search(len(s.hints), func(i int) bool { return s.hints[i] >= t })
+	if i < len(s.hints) && s.hints[i] == t {
+		return
+	}
+	s.hints = append(s.hints, 0)
+	copy(s.hints[i+1:], s.hints[i:])
+	s.hints[i] = t
 }
 
 // New builds a system from cfg. It returns an error if cfg is invalid.
@@ -218,7 +286,14 @@ func New(cfg Config) (*System, error) {
 		pattern: newPattern(cfg),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		metrics: newMetrics(),
+		held:    make(map[Time][]envelope),
 	}
+	s.qcond = sync.NewCond(&s.qmu)
+	s.deadlines = make([]Time, cfg.N+1)
+	for _, at := range cfg.Crashes {
+		s.crashTimes = append(s.crashTimes, at)
+	}
+	sort.Slice(s.crashTimes, func(i, j int) bool { return s.crashTimes[i] < s.crashTimes[j] })
 	s.procs = make([]*Proc, cfg.N+1)
 	for i := 1; i <= cfg.N; i++ {
 		s.procs[i] = newProc(ids.ProcID(i), s)
@@ -257,6 +332,10 @@ func (s *System) Env(p ids.ProcID) *Env { return &Env{p: s.procs[p]} }
 // Spawn registers main as the protocol code of process p. It must be
 // called before Run. The main runs on its own goroutine; it is unwound
 // when p crashes or the run stops, and may also return on its own.
+//
+// Mains must block through Env (Step, StepUntil, WaitUntil) to let the
+// scheduler advance: the system is lockstep, so a main that spins without
+// an Env call stalls virtual time.
 func (s *System) Spawn(p ids.ProcID, main func(*Env)) {
 	if p < 1 || int(p) > s.cfg.N {
 		panic(fmt.Sprintf("sim: Spawn(%d) unknown process", p))
@@ -284,6 +363,81 @@ type Report struct {
 	Messages MetricsSnapshot
 }
 
+// waitQuiescent blocks the scheduler until every process goroutine has
+// parked or exited.
+func (s *System) waitQuiescent() {
+	s.qmu.Lock()
+	for s.active > 0 {
+		s.qcond.Wait()
+	}
+	s.qmu.Unlock()
+}
+
+// launch starts process p's goroutine and waits until it parks or exits.
+func (s *System) launch(p *Proc) {
+	s.wg.Add(1)
+	s.qmu.Lock()
+	s.active++
+	s.qmu.Unlock()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); !ok {
+					// A protocol bug: remember it and re-raise from Run.
+					s.recordPanic(r)
+				}
+			}
+			p.mu.Lock()
+			p.exited = true
+			p.parked = false
+			p.mu.Unlock()
+			s.qmu.Lock()
+			s.active--
+			if s.active <= 0 {
+				s.qcond.Broadcast()
+			}
+			s.qmu.Unlock()
+			s.wg.Done()
+		}()
+		p.main(&Env{p: p})
+	}()
+	s.waitQuiescent()
+}
+
+// wake resumes a parked process and waits until it parks again or exits.
+func (s *System) wake(p *Proc) {
+	bit := uint64(1) << uint(p.id-1)
+	s.qmu.Lock()
+	s.active++
+	s.parkedSet &^= bit
+	s.inboxDue &^= bit
+	s.qmu.Unlock()
+	p.mu.Lock()
+	p.parked = false
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	s.waitQuiescent()
+}
+
+// killAt applies an in-run crash: the process is marked dead and, if it
+// was parked, woken so its goroutine unwinds before the tick proceeds.
+func (s *System) killAt(p *Proc) {
+	p.mu.Lock()
+	if p.dead || p.exited {
+		p.dead = true
+		p.deadFlag.Store(true)
+		p.mu.Unlock()
+		return
+	}
+	wasParked := p.parked
+	p.dead = true
+	p.deadFlag.Store(true)
+	p.mu.Unlock()
+	if wasParked {
+		s.wake(p)
+	}
+}
+
 // Run executes the system: it starts every registered main, then drives
 // the scheduler until stop() returns true or MaxSteps elapse, and finally
 // tears everything down, joining all process goroutines. stop may be nil
@@ -297,26 +451,13 @@ func (s *System) Run(stop func() bool) Report {
 	for i := 1; i <= s.cfg.N; i++ {
 		p := s.procs[i]
 		if s.pattern.CrashTime(p.id) <= 0 {
-			p.kill() // initial crash: never takes a step
+			p.markDead() // initial crash: never takes a step
 			continue
 		}
 		if p.main == nil {
 			continue
 		}
-		s.wg.Add(1)
-		go func(p *Proc) {
-			defer s.wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(procKilled); ok {
-						return
-					}
-					// A protocol bug: remember it and re-raise from Run.
-					s.recordPanic(r)
-				}
-			}()
-			p.main(&Env{p: p})
-		}(p)
+		s.launch(p)
 	}
 
 	stoppedEarly := s.schedule(stop)
@@ -330,7 +471,7 @@ func (s *System) Run(stop func() bool) Report {
 	s.wg.Wait()
 
 	s.panicMu.Lock()
-	panicked, panicVal := s.panicked, s.panicVal
+	panicked, panicVal := s.panicked.Load(), s.panicVal
 	s.panicMu.Unlock()
 	if panicked {
 		panic(panicVal)
@@ -343,9 +484,8 @@ func (s *System) Run(stop func() bool) Report {
 	}
 }
 
-// schedule is the adversary loop: one tick per iteration.
+// schedule is the adversary loop: one scheduled tick per iteration.
 func (s *System) schedule(stop func() bool) bool {
-	idle := 0
 	for {
 		now := s.Now()
 		if now >= s.cfg.MaxSteps {
@@ -362,79 +502,164 @@ func (s *System) schedule(stop func() bool) bool {
 		for i := 1; i <= s.cfg.N; i++ {
 			p := s.procs[i]
 			if s.pattern.CrashTime(p.id) == now {
-				p.kill()
+				s.killAt(p)
 			}
 		}
 
-		delivered := false
-		for i := 0; i < s.cfg.bandwidth(); i++ {
-			if !s.deliverOne(now) {
-				break
-			}
-			delivered = true
-		}
+		s.deliverPhase(now)
 
 		// Samplers observe the system at time `now` (the clock has not
 		// advanced yet, so oracles read the same instant).
 		for _, fn := range s.onTick {
 			fn(now)
 		}
-
-		s.now.Add(1)
-		// Wake every process: time moved, oracles may have changed.
-		for i := 1; i <= s.cfg.N; i++ {
-			s.procs[i].wake()
+		for _, fn := range s.onAdvance {
+			fn(now)
 		}
 
-		if delivered {
-			idle = 0
-			continue
+		// Advance the clock — by one tick, or past a provably idle
+		// stretch — then wake, sequentially and in identity order, every
+		// process whose wait condition is due.
+		next := s.nextTime(now)
+		s.now.Store(int64(next))
+		s.qmu.Lock()
+		due := s.parkedSet & s.inboxDue
+		for mask := s.parkedSet; mask != 0; mask &= mask - 1 {
+			id := bits.TrailingZeros64(mask) + 1
+			if s.deadlines[id] <= next {
+				due |= 1 << uint(id-1)
+			}
 		}
-		idle++
-		runtime.Gosched()
-		if idle%4096 == 0 {
-			// The network is quiet and processes are not producing
-			// messages; yield for real so compute-bound mains progress.
-			time.Sleep(50 * time.Microsecond)
+		s.qmu.Unlock()
+		for ; due != 0; due &= due - 1 {
+			s.wake(s.procs[bits.TrailingZeros64(due)+1])
+			if s.hasPanicked() {
+				return false
+			}
 		}
 	}
 }
 
-// deliverOne picks one eligible in-flight message at random and delivers
-// it. It reports whether a delivery happened.
-func (s *System) deliverOne(now Time) bool {
+// deliverPhase routes accepted messages into the eligibility structures
+// and delivers up to Bandwidth eligible messages, chosen uniformly at
+// random among all eligible ones. Deliveries land in inboxes silently;
+// recipients are woken by the subsequent wake phase.
+func (s *System) deliverPhase(now Time) {
 	s.mu.Lock()
-	eligible := eligibleIndices(s.pending, now)
-	if len(eligible) == 0 {
-		s.mu.Unlock()
-		return false
+	s.routeLocked(now)
+	batch := s.batch[:0]
+	k := s.cfg.bandwidth()
+	for i := 0; i < k && len(s.eligible) > 0; i++ {
+		j := s.rng.Intn(len(s.eligible))
+		env := s.eligible[j]
+		last := len(s.eligible) - 1
+		s.eligible[j] = s.eligible[last]
+		s.eligible[last] = envelope{}
+		s.eligible = s.eligible[:last]
+		batch = append(batch, env.msg)
 	}
-	k := eligible[s.rng.Intn(len(eligible))]
-	env := s.pending[k]
-	s.pending[k] = s.pending[len(s.pending)-1]
-	s.pending = s.pending[:len(s.pending)-1]
+	s.batch = batch
 	s.mu.Unlock()
 
-	dst := s.procs[env.msg.To]
-	if s.pattern.Crashed(env.msg.To, now) {
-		s.metrics.dropped(env.msg.Tag)
-		return true
+	var dsts uint64
+	for _, m := range batch {
+		if s.pattern.Crashed(m.To, now) {
+			s.metrics.dropped(m.Tag)
+			continue
+		}
+		m.DeliveredAt = now
+		s.procs[m.To].enqueue(m)
+		s.metrics.delivered(m.Tag)
+		dsts |= 1 << uint(m.To-1)
 	}
-	m := env.msg
-	m.DeliveredAt = now
-	dst.deliver(m)
-	s.metrics.delivered(m.Tag)
-	return true
+	if dsts != 0 {
+		s.qmu.Lock()
+		s.inboxDue |= dsts
+		s.qmu.Unlock()
+	}
 }
 
-func eligibleIndices(pending []envelope, now Time) []int {
-	out := make([]int, 0, len(pending))
-	for i, e := range pending {
+// routeLocked moves arrivals into eligible or the held buckets, then
+// promotes every bucket whose release time has come. Must be called with
+// s.mu held. Arrival order is deterministic: processes execute
+// sequentially, so sends are appended in process-step order.
+func (s *System) routeLocked(now Time) {
+	for _, e := range s.arrivals {
 		if e.notBefore <= now {
-			out = append(out, i)
+			s.eligible = append(s.eligible, e)
+			continue
+		}
+		if _, ok := s.held[e.notBefore]; !ok {
+			i := sort.Search(len(s.heldTimes), func(i int) bool { return s.heldTimes[i] >= e.notBefore })
+			s.heldTimes = append(s.heldTimes, 0)
+			copy(s.heldTimes[i+1:], s.heldTimes[i:])
+			s.heldTimes[i] = e.notBefore
+		}
+		s.held[e.notBefore] = append(s.held[e.notBefore], e)
+	}
+	s.arrivals = s.arrivals[:0]
+	for len(s.heldTimes) > 0 && s.heldTimes[0] <= now {
+		t := s.heldTimes[0]
+		s.heldTimes = s.heldTimes[1:]
+		s.eligible = append(s.eligible, s.held[t]...)
+		delete(s.held, t)
+	}
+}
+
+// nextTime picks the next scheduled tick: now+1 when anything is pending
+// for it, otherwise the earliest future tick at which something can
+// happen (a hold release, a crash, a declared process wake, an external
+// hint) — capping at MaxSteps. Dense mode (OnTick) never skips.
+func (s *System) nextTime(now Time) Time {
+	if len(s.onTick) > 0 {
+		return now + 1
+	}
+	s.mu.Lock()
+	backlog := len(s.eligible) > 0 || len(s.arrivals) > 0
+	nextHeld := Never
+	if len(s.heldTimes) > 0 {
+		nextHeld = s.heldTimes[0]
+	}
+	s.mu.Unlock()
+	if backlog {
+		return now + 1
+	}
+
+	next := s.cfg.MaxSteps
+	if nextHeld < next {
+		next = nextHeld
+	}
+	for _, ct := range s.crashTimes {
+		if ct > now {
+			if ct < next {
+				next = ct
+			}
+			break
 		}
 	}
-	return out
+	s.qmu.Lock()
+	inboxed := s.parkedSet & s.inboxDue
+	for mask := s.parkedSet; mask != 0; mask &= mask - 1 {
+		if d := s.deadlines[bits.TrailingZeros64(mask)+1]; d < next {
+			next = d
+		}
+	}
+	s.qmu.Unlock()
+	if inboxed != 0 {
+		return now + 1
+	}
+	s.hintMu.Lock()
+	for len(s.hints) > 0 && s.hints[0] <= now {
+		s.hints = s.hints[1:]
+	}
+	if len(s.hints) > 0 && s.hints[0] < next {
+		next = s.hints[0]
+	}
+	s.hintMu.Unlock()
+	if next <= now {
+		return now + 1
+	}
+	return next
 }
 
 // send enqueues a message into the network. Called from process goroutines.
@@ -455,7 +680,7 @@ func (s *System) send(m Message) {
 		return
 	}
 	m.SentAt = now
-	s.pending = append(s.pending, envelope{msg: m, notBefore: nb})
+	s.arrivals = append(s.arrivals, envelope{msg: m, notBefore: nb})
 	s.mu.Unlock()
 	s.metrics.sent(m.Tag)
 }
@@ -464,5 +689,9 @@ func (s *System) send(m Message) {
 func (s *System) InFlight() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.pending)
+	n := len(s.arrivals) + len(s.eligible)
+	for _, b := range s.held {
+		n += len(b)
+	}
+	return n
 }

@@ -1,0 +1,154 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Runner executes one cell and fills in its result. Implementations must
+// be pure: build the cell's own sim.System, run it, derive the verdict —
+// no shared mutable state, so cells parallelize freely.
+type Runner func(*Cell, *CellResult)
+
+var (
+	runnersMu sync.RWMutex
+	runners   = make(map[string]Runner)
+)
+
+// Register installs a cell runner under a protocol name. Runners ship in
+// runners.go; tests may register their own.
+func Register(name string, r Runner) {
+	runnersMu.Lock()
+	defer runnersMu.Unlock()
+	if _, dup := runners[name]; dup {
+		panic(fmt.Sprintf("sweep: runner %q registered twice", name))
+	}
+	runners[name] = r
+}
+
+// Protocols lists the registered protocol names, sorted.
+func Protocols() []string {
+	runnersMu.RLock()
+	defer runnersMu.RUnlock()
+	out := make([]string, 0, len(runners))
+	for name := range runners {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func runnerFor(name string) (Runner, bool) {
+	runnersMu.RLock()
+	defer runnersMu.RUnlock()
+	r, ok := runners[name]
+	return r, ok
+}
+
+// Options configures a sweep run.
+type Options struct {
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// Runner overrides the registry lookup (tests).
+	Runner Runner
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run expands the matrix and executes every cell on a worker pool. Each
+// worker runs cells to completion on isolated sim.System instances; the
+// result slice is ordered by cell index, so the aggregated report is
+// identical whatever the worker count. A panicking cell (a protocol bug)
+// is contained and reported as an errored cell, not a crashed sweep.
+func Run(m Matrix, opt Options) (*Report, error) {
+	cells, err := m.Cells()
+	if err != nil {
+		return nil, err
+	}
+	runner := opt.Runner
+	if runner == nil {
+		r, ok := runnerFor(m.Protocol)
+		if !ok {
+			return nil, fmt.Errorf("sweep: no runner registered for protocol %q (have %v)", m.Protocol, Protocols())
+		}
+		runner = r
+	}
+
+	start := time.Now()
+	results := make([]CellResult, len(cells))
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		i := int(next)
+		next++
+		if i >= len(cells) {
+			return -1
+		}
+		return i
+	}
+
+	workers := opt.workers()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				results[i] = runCell(runner, &cells[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := &Report{Matrix: m, Cells: results, WallNS: time.Since(start).Nanoseconds()}
+	for i := range results {
+		switch results[i].Verdict {
+		case Pass:
+			rep.Passed++
+		case Fail:
+			rep.Failed++
+		default:
+			rep.Errored++
+		}
+	}
+	return rep, nil
+}
+
+// runCell executes one cell, containing panics as errored results.
+func runCell(runner Runner, c *Cell) (res CellResult) {
+	res = CellResult{
+		Index:   c.Index,
+		Seed:    c.Seed,
+		Size:    c.Size,
+		Pattern: c.Pattern.Name,
+		Combo:   c.Combo,
+		Verdict: Pass,
+	}
+	start := time.Now()
+	defer func() {
+		res.WallNS = time.Since(start).Nanoseconds()
+		if r := recover(); r != nil {
+			res.Verdict = Errored
+			res.Detail = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	runner(c, &res)
+	return res
+}

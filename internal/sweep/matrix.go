@@ -1,0 +1,232 @@
+// Package sweep is the parallel scenario-sweep engine: it expands a
+// declarative Matrix — dimensions: seeds × system sizes × crash patterns
+// × failure-detector class combinations — into concrete cells, fans the
+// cells out across a worker pool (each cell runs its own isolated
+// sim.System), and aggregates the per-cell results into a reproducible
+// JSON report.
+//
+// Because the simulator is lockstep-deterministic, a cell's result is a
+// pure function of the cell: running the same Matrix twice yields
+// byte-identical canonical reports, regardless of worker count or
+// scheduling. That is what makes a sweep a reproducible experiment
+// rather than a load test.
+package sweep
+
+import (
+	"fmt"
+
+	"fdgrid/internal/core"
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// Size is one system-size point: n processes, resilience bound t.
+type Size struct {
+	N int `json:"n"`
+	T int `json:"t"`
+}
+
+// CrashSpec schedules one crash. Proc > 0 names the process absolutely;
+// Proc <= 0 is relative to the cell's size (0 = p_n, -1 = p_{n-1}, …),
+// so one pattern can say "crash the last process at 400" across sizes.
+type CrashSpec struct {
+	Proc int      `json:"proc"`
+	At   sim.Time `json:"at"`
+}
+
+// CrashPattern is one adversary dimension point: scheduled crashes plus
+// optional scripted message holds.
+type CrashPattern struct {
+	Name    string      `json:"name"`
+	Crashes []CrashSpec `json:"crashes,omitempty"`
+	Holds   []sim.Hold  `json:"holds,omitempty"`
+}
+
+// Combo is one failure-detector dimension point. Which fields matter
+// depends on the protocol under test: grid cells use Family/Param (a
+// single grid class), addition cells use the X and Y scopes, Z overrides
+// the target set size / agreement degree (0 = derive from the paper's
+// formulas). Trusted optionally pins an Ω oracle's final set; Name
+// selects protocol variants (e.g. the register substrate of add-s).
+type Combo struct {
+	Name    string      `json:"name,omitempty"`
+	Family  core.Family `json:"family,omitempty"`
+	Param   int         `json:"param,omitempty"`
+	X       int         `json:"x,omitempty"`
+	Y       int         `json:"y,omitempty"`
+	Z       int         `json:"z,omitempty"`
+	Trusted []int       `json:"trusted,omitempty"`
+	Region  []int       `json:"region,omitempty"` // adversary region E (irreducibility cells)
+}
+
+// set converts an []int field to a process set.
+func set(ps []int) ids.Set {
+	var s ids.Set
+	for _, p := range ps {
+		s = s.Add(ids.ProcID(p))
+	}
+	return s
+}
+
+// Class returns the grid class a Family/Param combo denotes.
+func (c Combo) Class() core.Class { return core.Class{Fam: c.Family, Param: c.Param} }
+
+// String renders a short label for tables.
+func (c Combo) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	if c.Family != 0 {
+		return c.Class().String()
+	}
+	return fmt.Sprintf("x=%d,y=%d,z=%d", c.X, c.Y, c.Z)
+}
+
+// Matrix declares a scenario sweep: the protocol under test and the
+// dimensions whose cross product forms the cells. Patterns and Combos
+// may be left empty (one zero-value point each); Seeds and Sizes must be
+// explicit.
+type Matrix struct {
+	// Name identifies the sweep in reports.
+	Name string `json:"name"`
+	// Protocol selects the registered cell runner (see runners.go).
+	Protocol string `json:"protocol"`
+	// Claim is the paper claim the sweep checks (report prose).
+	Claim string `json:"claim,omitempty"`
+
+	Seeds    []int64        `json:"seeds"`
+	Sizes    []Size         `json:"sizes"`
+	Patterns []CrashPattern `json:"patterns,omitempty"`
+	Combos   []Combo        `json:"combos,omitempty"`
+
+	// GST and MaxSteps apply to every cell; Bandwidth 0 means "n".
+	GST       sim.Time `json:"gst"`
+	MaxSteps  sim.Time `json:"max_steps"`
+	Bandwidth int      `json:"bandwidth,omitempty"`
+
+	// Params carries protocol-specific knobs (margins, pacing marks,
+	// instance counts, …), passed to every cell.
+	Params map[string]int64 `json:"params,omitempty"`
+}
+
+// Cell is one concrete point of the matrix cross product.
+type Cell struct {
+	Index    int          `json:"index"`
+	Matrix   string       `json:"matrix"`
+	Protocol string       `json:"protocol"`
+	Seed     int64        `json:"seed"`
+	Size     Size         `json:"size"`
+	Pattern  CrashPattern `json:"pattern"`
+	Combo    Combo        `json:"combo"`
+
+	GST       sim.Time         `json:"gst"`
+	MaxSteps  sim.Time         `json:"max_steps"`
+	Bandwidth int              `json:"bandwidth,omitempty"`
+	Params    map[string]int64 `json:"params,omitempty"`
+}
+
+// Param returns a protocol knob with a default.
+func (c *Cell) Param(name string, def int64) int64 {
+	if v, ok := c.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Config resolves the cell into a simulator configuration: relative
+// crash specs are resolved against the cell's size, bandwidth 0 becomes
+// n, and the result is validated by sim.New's rules.
+func (c *Cell) Config() (sim.Config, error) {
+	crashes := make(map[ids.ProcID]sim.Time, len(c.Pattern.Crashes))
+	for _, cs := range c.Pattern.Crashes {
+		p := cs.Proc
+		if p <= 0 {
+			p = c.Size.N + p
+		}
+		if p < 1 || p > c.Size.N {
+			return sim.Config{}, fmt.Errorf("sweep: crash spec %+v resolves to process %d outside 1..%d", cs, p, c.Size.N)
+		}
+		if _, dup := crashes[ids.ProcID(p)]; dup {
+			return sim.Config{}, fmt.Errorf("sweep: crash pattern %q schedules process %d twice", c.Pattern.Name, p)
+		}
+		crashes[ids.ProcID(p)] = cs.At
+	}
+	bw := c.Bandwidth
+	if bw == 0 {
+		bw = c.Size.N
+	}
+	return sim.Config{
+		N:         c.Size.N,
+		T:         c.Size.T,
+		Seed:      c.Seed,
+		MaxSteps:  c.MaxSteps,
+		GST:       c.GST,
+		Crashes:   crashes,
+		Holds:     c.Pattern.Holds,
+		Bandwidth: bw,
+	}, nil
+}
+
+// System builds the cell's isolated simulator instance.
+func (c *Cell) System() (*sim.System, error) {
+	cfg, err := c.Config()
+	if err != nil {
+		return nil, err
+	}
+	return sim.New(cfg)
+}
+
+// Cells expands the matrix into its cross product, in the documented
+// deterministic order: sizes (outermost) × patterns × combos × seeds
+// (innermost). Empty Patterns/Combos expand as a single zero-value
+// point; empty Seeds or Sizes is an error — a sweep with no runs is
+// almost always a bug in the matrix definition.
+func (m *Matrix) Cells() ([]Cell, error) {
+	if m.Protocol == "" {
+		return nil, fmt.Errorf("sweep: matrix %q has no protocol", m.Name)
+	}
+	if len(m.Seeds) == 0 {
+		return nil, fmt.Errorf("sweep: matrix %q has no seeds", m.Name)
+	}
+	if len(m.Sizes) == 0 {
+		return nil, fmt.Errorf("sweep: matrix %q has no sizes", m.Name)
+	}
+	if m.MaxSteps <= 0 {
+		return nil, fmt.Errorf("sweep: matrix %q has MaxSteps=%d", m.Name, m.MaxSteps)
+	}
+	patterns := m.Patterns
+	if len(patterns) == 0 {
+		patterns = []CrashPattern{{Name: "none"}}
+	}
+	combos := m.Combos
+	if len(combos) == 0 {
+		combos = []Combo{{}}
+	}
+	cells := make([]Cell, 0, len(m.Sizes)*len(patterns)*len(combos)*len(m.Seeds))
+	for _, size := range m.Sizes {
+		for _, pat := range patterns {
+			for _, combo := range combos {
+				for _, seed := range m.Seeds {
+					c := Cell{
+						Index:     len(cells),
+						Matrix:    m.Name,
+						Protocol:  m.Protocol,
+						Seed:      seed,
+						Size:      size,
+						Pattern:   pat,
+						Combo:     combo,
+						GST:       m.GST,
+						MaxSteps:  m.MaxSteps,
+						Bandwidth: m.Bandwidth,
+						Params:    m.Params,
+					}
+					if _, err := c.Config(); err != nil {
+						return nil, err
+					}
+					cells = append(cells, c)
+				}
+			}
+		}
+	}
+	return cells, nil
+}

@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fdgrid/internal/sim"
+)
+
+// Cell verdicts.
+const (
+	// Pass: the run exhibited the property the cell checks.
+	Pass = "pass"
+	// Fail: the run completed but the property did not hold.
+	Fail = "fail"
+	// Errored: the cell could not run (bad config, protocol panic).
+	Errored = "error"
+)
+
+// CellResult is the structured outcome of one cell: the verdict, a
+// metrics snapshot, the decided-value set (for agreement protocols) and
+// virtual/wall durations. Every field except WallNS is a deterministic
+// function of the cell; WallNS is excluded from the canonical JSON so
+// reports stay byte-reproducible.
+type CellResult struct {
+	Index   int    `json:"index"`
+	Seed    int64  `json:"seed"`
+	Size    Size   `json:"size"`
+	Pattern string `json:"pattern"`
+	Combo   Combo  `json:"combo"`
+	Verdict string `json:"verdict"`
+	Detail  string `json:"detail,omitempty"`
+
+	Steps        sim.Time         `json:"steps"`
+	StoppedEarly bool             `json:"stopped_early"`
+	Messages     int64            `json:"messages_sent"`
+	SentByTag    map[string]int64 `json:"sent_by_tag,omitempty"`
+
+	// Agreement outcomes (empty for transformation-only cells).
+	Decided   []int `json:"decided,omitempty"` // sorted distinct decided values
+	Decisions int   `json:"decisions,omitempty"`
+	MaxRound  int   `json:"max_round,omitempty"`
+
+	// Measures carries runner-specific observations (stabilization
+	// ticks, traffic at a time mark, probe times, …).
+	Measures map[string]int64 `json:"measures,omitempty"`
+
+	// WallNS is the cell's wall-clock cost. Not part of the canonical
+	// report: it varies run to run.
+	WallNS int64 `json:"-"`
+}
+
+// measure records a named observation, allocating lazily.
+func (r *CellResult) measure(name string, v int64) {
+	if r.Measures == nil {
+		r.Measures = make(map[string]int64)
+	}
+	r.Measures[name] = v
+}
+
+// fail marks the cell failed, appending the reason to Detail.
+func (r *CellResult) fail(why string) {
+	r.Verdict = Fail
+	if r.Detail == "" {
+		r.Detail = why
+	} else {
+		r.Detail += "; " + why
+	}
+}
+
+// Report aggregates a matrix run.
+type Report struct {
+	Matrix  Matrix       `json:"matrix"`
+	Cells   []CellResult `json:"cells"`
+	Passed  int          `json:"passed"`
+	Failed  int          `json:"failed"`
+	Errored int          `json:"errored"`
+
+	// WallNS is the sweep's wall-clock cost (not canonical).
+	WallNS int64 `json:"-"`
+}
+
+// OK reports whether every cell passed.
+func (r *Report) OK() bool { return r.Failed == 0 && r.Errored == 0 && r.Passed == len(r.Cells) }
+
+// CanonicalJSON renders the report as deterministic bytes: struct fields
+// in declaration order, map keys sorted (encoding/json's contract), no
+// wall-clock content. Same matrix, same binary → same bytes.
+func (r *Report) CanonicalJSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Summary is a one-line human rendering.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("%s: %d/%d pass (%d fail, %d error)",
+		r.Matrix.Name, r.Passed, len(r.Cells), r.Failed, r.Errored)
+}

@@ -1,0 +1,543 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+
+	"fdgrid/internal/adversary"
+	"fdgrid/internal/agreement"
+	"fdgrid/internal/core"
+	"fdgrid/internal/fd"
+	"fdgrid/internal/ids"
+	"fdgrid/internal/rbcast"
+	"fdgrid/internal/reduction"
+	"fdgrid/internal/sim"
+)
+
+// The built-in cell runners: every experiment family of DESIGN.md §5
+// (the paper's figures and theorems) expressed as a protocol a Matrix
+// can sweep. Registered under these names:
+//
+//	kset-grid      — grid class → prescribed transformation → Fig. 3 k-set
+//	kset-omega     — Fig. 3 directly over a (possibly pinned) Ω_z oracle
+//	kset-seq       — repeated Fig. 3 instances (zero-degradation)
+//	consensus-ds   — the ◇S rotating-coordinator consensus ancestor
+//	two-wheels     — ◇S_x + ◇φ_y → Ω_z (Figs. 5–6), trace-checked
+//	single-wheel   — the companion quiescent ◇S → Ω transformation
+//	lower-wheel    — Fig. 5 alone: representatives + quiescence
+//	psi-omega      — Ψ_y → Ω_z (Fig. 8), message-free
+//	add-s          — S_x + φ_y → S_n (Fig. 9) over a register substrate
+//	phi-o1         — Observation O1: f ≤ t−y ⇒ informative queries false
+//	irreducibility — Theorem 9 crash-vs-delay run pair, one claimed τ
+func init() {
+	Register("kset-grid", runKSetGrid)
+	Register("kset-omega", runKSetOmega)
+	Register("kset-seq", runKSetSeq)
+	Register("consensus-ds", runConsensusDS)
+	Register("two-wheels", runTwoWheels)
+	Register("single-wheel", runSingleWheel)
+	Register("lower-wheel", runLowerWheel)
+	Register("psi-omega", runPsiOmega)
+	Register("add-s", runAddS)
+	Register("phi-o1", runPhiO1)
+	Register("irreducibility", runIrreducibility)
+}
+
+// recordRun copies the run report into the result.
+func recordRun(res *CellResult, rep sim.Report) {
+	res.Steps = rep.Steps
+	res.StoppedEarly = rep.StoppedEarly
+	res.Messages = rep.Messages.TotalSent
+	if len(rep.Messages.Sent) > 0 {
+		res.SentByTag = rep.Messages.Sent
+	}
+}
+
+// recordOutcome copies agreement results into the result.
+func recordOutcome(res *CellResult, o *agreement.Outcome) {
+	vals := o.DistinctValues()
+	res.Decided = make([]int, len(vals))
+	for i, v := range vals {
+		res.Decided[i] = int(v)
+	}
+	res.Decisions = len(o.Decisions())
+	res.MaxRound = o.MaxRound()
+}
+
+// checkRound1 fails the cell unless every decision happened in round 1.
+func checkRound1(res *CellResult, o *agreement.Outcome) {
+	for _, d := range o.Decisions() {
+		if d.Round != 1 {
+			res.fail(fmt.Sprintf("decision in round %d, want 1", d.Round))
+			return
+		}
+	}
+}
+
+// runKSetGrid: one grid class solves its line's k-set agreement through
+// the transformations the paper prescribes (EXP-F1, and EXP-F3 shapes).
+func runKSetGrid(c *Cell, res *CellResult) {
+	sys, err := c.System()
+	if err != nil {
+		panic(err)
+	}
+	out, err := core.SpawnKSetWith(sys, c.Combo.Class(), nil)
+	if err != nil {
+		panic(err)
+	}
+	k := c.Combo.Z
+	if k == 0 {
+		k = core.KSetPower(c.Combo.Class(), c.Size.T)
+	}
+	rep := sys.Run(out.AllDecided(sys.Pattern().Correct()))
+	recordRun(res, rep)
+	recordOutcome(res, out)
+	if !rep.StoppedEarly {
+		res.fail("timed out before all correct processes decided")
+	}
+	if err := out.Check(sys.Pattern(), k); err != nil {
+		res.fail(err.Error())
+	}
+}
+
+// omegaOracle builds the cell's Ω oracle with optional pinning.
+func omegaOracle(c *Cell, sys *sim.System, z int) *fd.Omega {
+	var opts []fd.Option
+	if c.Param("stab0", 0) != 0 {
+		opts = append(opts, fd.WithStabilizeAt(0))
+	}
+	if len(c.Combo.Trusted) > 0 {
+		opts = append(opts, fd.WithTrusted(set(c.Combo.Trusted)))
+	}
+	return fd.NewOmega(sys, z, opts...)
+}
+
+// runKSetOmega: the Fig. 3 algorithm over a ground-truth Ω_z oracle —
+// covers EXP-F3 (scaling), EXP-F3a/b (oracle-efficiency and
+// zero-degradation, via stab0/trusted pinning and require_round1) and
+// the EXP-T5 z ≤ k tightness cells.
+func runKSetOmega(c *Cell, res *CellResult) {
+	sys, err := c.System()
+	if err != nil {
+		panic(err)
+	}
+	z := c.Combo.Z
+	if z == 0 {
+		z = 1
+	}
+	oracle := omegaOracle(c, sys, z)
+	out := agreement.NewOutcome()
+	for p := 1; p <= c.Size.N; p++ {
+		id := ids.ProcID(p)
+		sys.Spawn(id, agreement.KSetMain(oracle, agreement.Value(int(c.Param("value_base", 100))+p), out))
+	}
+	rep := sys.Run(out.AllDecided(sys.Pattern().Correct()))
+	recordRun(res, rep)
+	recordOutcome(res, out)
+	if !rep.StoppedEarly {
+		res.fail("timed out before all correct processes decided")
+	}
+	k := int(c.Param("k", int64(z)))
+	if err := out.Check(sys.Pattern(), k); err != nil {
+		res.fail(err.Error())
+	}
+	if c.Param("require_round1", 0) != 0 {
+		checkRound1(res, out)
+	}
+}
+
+// runKSetSeq: consecutive independent k-set instances under a perfect
+// pinned oracle and initial crashes — zero-degradation in use (EXP-ZD).
+func runKSetSeq(c *Cell, res *CellResult) {
+	sys, err := c.System()
+	if err != nil {
+		panic(err)
+	}
+	z := c.Combo.Z
+	if z == 0 {
+		z = 1
+	}
+	oracle := omegaOracle(c, sys, z)
+	instances := int(c.Param("instances", 4))
+	outs := make([]*agreement.Outcome, instances)
+	for j := range outs {
+		outs[j] = agreement.NewOutcome()
+	}
+	for p := 1; p <= c.Size.N; p++ {
+		id := ids.ProcID(p)
+		vals := make([]agreement.Value, instances)
+		for j := range vals {
+			vals[j] = agreement.Value(100*(j+1) + p)
+		}
+		sys.Spawn(id, agreement.SequenceMain(oracle, vals, outs))
+	}
+	rep := sys.Run(agreement.AllInstancesDecided(outs, sys.Pattern().Correct()))
+	recordRun(res, rep)
+	res.measure("vticks_per_instance", int64(rep.Steps)/int64(instances))
+	if !rep.StoppedEarly {
+		res.fail("timed out before every instance decided")
+	}
+	for j, o := range outs {
+		if err := o.Check(sys.Pattern(), z); err != nil {
+			res.fail(fmt.Sprintf("instance %d: %v", j, err))
+		}
+		checkRound1(res, o)
+	}
+}
+
+// runConsensusDS: the rotating-coordinator ◇S consensus of [18]
+// (baseline for Fig. 3 at z = k = 1).
+func runConsensusDS(c *Cell, res *CellResult) {
+	sys, err := c.System()
+	if err != nil {
+		panic(err)
+	}
+	susp := fd.NewEvtS(sys, c.Size.N)
+	out := agreement.NewOutcome()
+	for p := 1; p <= c.Size.N; p++ {
+		id := ids.ProcID(p)
+		sys.Spawn(id, agreement.ConsensusDSMain(susp, agreement.Value(int(id)), out))
+	}
+	rep := sys.Run(out.AllDecided(sys.Pattern().Correct()))
+	recordRun(res, rep)
+	recordOutcome(res, out)
+	if !rep.StoppedEarly {
+		res.fail("timed out before all correct processes decided")
+	}
+	if err := out.Check(sys.Pattern(), 1); err != nil {
+		res.fail(err.Error())
+	}
+}
+
+// watchMark installs a sparse sampler recording the wire traffic of tag
+// at the first scheduled tick at or after mark.
+func watchMark(sys *sim.System, tag string, mark sim.Time, res *CellResult, name string) {
+	if mark <= 0 {
+		return
+	}
+	sys.WakeAt(mark)
+	done := false
+	sys.OnAdvance(func(now sim.Time) {
+		if done || now < mark {
+			return
+		}
+		done = true
+		res.measure(name, sys.Metrics().Sent(tag))
+	})
+}
+
+// hintOracleChanges schedules a tick at every future time the oracle's
+// output can change. Sparse traces of an emulated output that consults
+// an oracle live at read time (the upper wheel's Trusted queries its
+// ◇φ_y) need this: without it a clock jump could skip the tick at which
+// the oracle flips the emulated output, and the trace would misstate
+// the change timeline.
+func hintOracleChanges(sys *sim.System, o any) {
+	h, ok := o.(fd.ChangeHinted)
+	if !ok {
+		return
+	}
+	sys.OnAdvance(func(now sim.Time) {
+		if t := h.NextChange(now); t < sim.Never {
+			sys.WakeAt(t)
+		}
+	})
+}
+
+// stabilizationOf returns the latest output change among correct
+// processes.
+func stabilizationOf(trace *fd.SetTrace, correct ids.Set) sim.Time {
+	var last sim.Time
+	correct.ForEach(func(q ids.ProcID) bool {
+		if lc := trace.LastChange(q); lc > last {
+			last = lc
+		}
+		return true
+	})
+	return last
+}
+
+// runTwoWheels: the addition ◇S_x + ◇φ_y → Ω_z (EXP-F2, EXP-F6, EXP-T8).
+// Params: stable_for (early stop once outputs rested that long), margin
+// (Ω check stable suffix), mark (inquiry traffic sample point),
+// require_nonquiescent (inquiries must continue past mark),
+// expect_tight (the Ω_{z−1} check must fail: the resting set has full
+// size z).
+func runTwoWheels(c *Cell, res *CellResult) {
+	sys, err := c.System()
+	if err != nil {
+		panic(err)
+	}
+	x, y := c.Combo.X, c.Combo.Y
+	z := c.Combo.Z
+	if z == 0 {
+		z = c.Size.T + 2 - x - y
+	}
+	susp := fd.NewEvtS(sys, x)
+	quer := fd.NewEvtPhi(sys, y)
+	emu, _ := reduction.SpawnTwoWheels(sys, susp, quer, x, y)
+	trace := fd.WatchLeaderSparse(sys, emu)
+	// The emulated Trusted consults the querier live; make sure every
+	// tick it can change at is scheduled, so the sparse trace is exact.
+	hintOracleChanges(sys, quer)
+	watchMark(sys, "wheel.inquiry", sim.Time(c.Param("mark", 0)), res, "inquiries_at_mark")
+	var stop func() bool
+	if sf := sim.Time(c.Param("stable_for", 0)); sf > 0 {
+		stop = trace.StableFor(sys.Pattern().Correct(), sf)
+	}
+	rep := sys.Run(stop)
+	recordRun(res, rep)
+	margin := sim.Time(c.Param("margin", 10_000))
+	if err := trace.CheckOmega(sys.Pattern(), z, margin); err != nil {
+		res.fail(err.Error())
+	}
+	res.measure("stabilization", int64(stabilizationOf(trace, sys.Pattern().Correct())))
+	if z > 1 {
+		tighter := trace.CheckOmega(sys.Pattern(), z-1, margin) == nil
+		if tighter {
+			res.measure("z_minus_1_passes", 1)
+		} else {
+			res.measure("z_minus_1_passes", 0)
+		}
+		if c.Param("expect_tight", 0) != 0 && tighter {
+			res.fail(fmt.Sprintf("output rested on fewer than z=%d processes: x+y+z ≥ t+2 not tight here", z))
+		}
+	}
+	if c.Param("mark", 0) > 0 {
+		end := rep.Messages.Sent["wheel.inquiry"]
+		res.measure("inquiries_end", end)
+		if c.Param("require_nonquiescent", 0) != 0 {
+			at := res.Measures["inquiries_at_mark"]
+			if at <= 0 || end <= at {
+				res.fail("inquiry traffic stopped: the upper wheel must keep inquiring forever")
+			}
+		}
+	}
+}
+
+// runSingleWheel: the companion transformation [17] — quiescent, needs
+// full-scope ◇S (the EXP-ABL counterpart of two-wheels with y=0).
+func runSingleWheel(c *Cell, res *CellResult) {
+	sys, err := c.System()
+	if err != nil {
+		panic(err)
+	}
+	emu := reduction.SpawnSingleWheel(sys, fd.NewEvtS(sys, c.Size.N))
+	trace := fd.WatchLeaderSparse(sys, emu)
+	var stop func() bool
+	if sf := sim.Time(c.Param("stable_for", 0)); sf > 0 {
+		stop = trace.StableFor(sys.Pattern().Correct(), sf)
+	}
+	rep := sys.Run(stop)
+	recordRun(res, rep)
+	if err := trace.CheckOmega(sys.Pattern(), 1, sim.Time(c.Param("margin", 10_000))); err != nil {
+		res.fail(err.Error())
+	}
+	res.measure("stabilization", int64(stabilizationOf(trace, sys.Pattern().Correct())))
+}
+
+// runLowerWheel: Fig. 5 alone (EXP-F5) — every correct process rests on
+// the same (ℓ, X) pair, and x_move traffic is quiescent: no sends after
+// the mark.
+func runLowerWheel(c *Cell, res *CellResult) {
+	sys, err := c.System()
+	if err != nil {
+		panic(err)
+	}
+	x := c.Combo.X
+	susp := fd.NewEvtS(sys, x)
+	reprs := reduction.SpawnLowerWheel(sys, susp, x)
+	wire := rbcast.WireTag("wheel.xmove")
+	mark := sim.Time(c.Param("mark", 0))
+	watchMark(sys, wire, mark, res, "xmove_at_mark")
+	rep := sys.Run(nil)
+	recordRun(res, rep)
+
+	stable := true
+	var pos ids.XPos
+	first := true
+	sys.Pattern().Correct().ForEach(func(p ids.ProcID) bool {
+		pp, ok := reprs.Pos(p)
+		if !ok {
+			stable = false
+			return false
+		}
+		if first {
+			pos, first = pp, false
+		} else if pp.Leader != pos.Leader || !pp.X.Equal(pos.X) {
+			stable = false
+		}
+		return true
+	})
+	if !stable {
+		res.fail("correct processes did not rest on a common (leader, X) pair")
+	}
+	end := rep.Messages.Sent[wire]
+	res.measure("xmove_end", end)
+	if mark > 0 {
+		at, ok := res.Measures["xmove_at_mark"]
+		if !ok || end != at {
+			res.fail(fmt.Sprintf("x_move traffic not quiescent: %d sends at mark, %d at end", at, end))
+		}
+	}
+}
+
+// runPsiOmega: Ψ_y → Ω_z for y+z > t (EXP-F8) — local chain queries,
+// zero messages. The watched output is a pure oracle chain (it churns
+// with the clock before stabilization), so the trace is dense.
+func runPsiOmega(c *Cell, res *CellResult) {
+	sys, err := c.System()
+	if err != nil {
+		panic(err)
+	}
+	y, z := c.Combo.Y, c.Combo.Z
+	psi := fd.WrapPsi(fd.NewPhi(sys, y))
+	po := reduction.NewPsiOmega(c.Size.N, c.Size.T, y, z, psi)
+	trace := fd.WatchLeader(sys, po)
+	rep := sys.Run(nil)
+	recordRun(res, rep)
+	if err := trace.CheckOmega(sys.Pattern(), z, sim.Time(c.Param("margin", 1_000))); err != nil {
+		res.fail(err.Error())
+	}
+	if rep.Messages.TotalSent != 0 {
+		res.fail(fmt.Sprintf("sent %d messages, want 0", rep.Messages.TotalSent))
+	}
+}
+
+// runAddS: S_x + φ_y → S_n over a register substrate named by the combo
+// (EXP-F9). Params: perpetual (inputs and output are the perpetual
+// classes), margin (checker stable suffix).
+func runAddS(c *Cell, res *CellResult) {
+	sys, err := c.System()
+	if err != nil {
+		panic(err)
+	}
+	x, y := c.Combo.X, c.Combo.Y
+	perpetual := c.Param("perpetual", 1) != 0
+	var susp fd.Suspector
+	var quer fd.Querier
+	if perpetual {
+		susp, quer = fd.NewS(sys, x), fd.NewPhi(sys, y)
+	} else {
+		susp, quer = fd.NewEvtS(sys, x), fd.NewEvtPhi(sys, y)
+	}
+	emu := reduction.SpawnAddS(sys, susp, quer, c.Combo.Name)
+	trace := fd.WatchSuspectorSparse(sys, emu)
+	margin := sim.Time(c.Param("margin", 20_000))
+	// Stop once every correct process's output has rested well past the
+	// checker's stable-suffix margin: running further cannot change the
+	// verdict, only burn virtual time.
+	rep := sys.Run(trace.StableFor(sys.Pattern().Correct(), margin+2_000))
+	recordRun(res, rep)
+	if err := trace.CheckSuspector(sys.Pattern(), c.Size.N, perpetual, margin); err != nil {
+		res.fail(err.Error())
+	}
+}
+
+// runPhiO1: Observation O1 — with f ≤ t−y crashes, a φ_y answers every
+// informative query false (it can only vouch by size). Sampled densely
+// at the tick Params["at"].
+func runPhiO1(c *Cell, res *CellResult) {
+	sys, err := c.System()
+	if err != nil {
+		panic(err)
+	}
+	y := c.Combo.Y
+	phi := fd.NewPhi(sys, y)
+	at := sim.Time(c.Param("at", 1_500))
+	ringX := int(c.Param("ring_x", int64(c.Size.T)))
+	informative := true
+	sys.OnTick(func(now sim.Time) {
+		if now != at {
+			return
+		}
+		r := ids.NewRing(ids.FullSet(c.Size.N), ringX)
+		for i := uint64(0); i < r.Len(); i++ {
+			if phi.Query(ids.ProcID(1+int(i)%c.Size.N), r.Current()) {
+				informative = false
+			}
+			r.Next()
+		}
+	})
+	rep := sys.Run(nil)
+	recordRun(res, rep)
+	if !informative {
+		res.fail("an informative region queried true with f ≤ t−y crashes")
+	}
+}
+
+// runIrreducibility: one Theorem 9 crash-vs-delay cell — for the claimed
+// stabilization time τ = Params["tau"], run R (region E crashes) makes
+// the straw-man reducer S_x → φ_y answer true about E, and the
+// indistinguishable run R′ (E alive, delayed past τ) makes the same
+// reducer answer true about live processes after τ: a safety violation.
+// The region E comes from Combo.Region; Params: crash_at, slack (extra
+// horizon past τ).
+func runIrreducibility(c *Cell, res *CellResult) {
+	tau := sim.Time(c.Param("tau", 500))
+	slack := sim.Time(c.Param("slack", 2_000))
+	e := set(c.Combo.Region)
+	x, y := c.Combo.X, c.Combo.Y
+	rp := adversary.RunPair{
+		N: c.Size.N, T: c.Size.T, E: e,
+		CrashAt: sim.Time(c.Param("crash_at", 100)),
+		Horizon: tau + slack/2, Seed: c.Seed,
+	}
+	probe := func(cfg sim.Config, prime bool) sim.Time {
+		sys := sim.MustNew(cfg)
+		var susp fd.Suspector
+		if prime {
+			susp = rp.SuspectorForRPrime(sys, x, 1)
+		} else {
+			susp = rp.SuspectorForR(sys, x, 1)
+		}
+		red := adversary.NewPhiFromS(susp, c.Size.T, y)
+		var at sim.Time = -1
+		sys.OnTick(func(now sim.Time) {
+			if at < 0 && now > tau && red.Query(1, e) {
+				at = now
+			}
+		})
+		sys.Run(func() bool { return at >= 0 })
+		return at
+	}
+	atR := probe(rp.ConfigR(tau+slack), false)
+	atP := probe(rp.ConfigRPrime(tau+slack), true)
+	res.measure("query_true_in_r", int64(atR))
+	res.measure("violation_in_r_prime", int64(atP))
+	if atR < 0 {
+		res.fail("run R: the reducer never answered true about the crashed region")
+	}
+	if atP <= tau {
+		res.fail(fmt.Sprintf("run R′: no safety violation after τ=%d", tau))
+	}
+}
+
+// MaxDistinct returns the largest decided-value count across cells — the
+// EXP-T5 aggregate (Ω_z runs must reach, but never exceed, z values).
+func MaxDistinct(cells []CellResult) int {
+	max := 0
+	for i := range cells {
+		if d := len(cells[i].Decided); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// SortedTags returns the union of wire tags across cells, sorted
+// (report rendering helper).
+func SortedTags(cells []CellResult) []string {
+	seen := map[string]bool{}
+	for i := range cells {
+		for tag := range cells[i].SentByTag {
+			seen[tag] = true
+		}
+	}
+	tags := make([]string, 0, len(seen))
+	for tag := range seen {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	return tags
+}
