@@ -3,11 +3,11 @@
 #   make ci      vet + build + race tests + sweep smoke run (the full gate)
 #   make test    plain unit tests
 #   make smoke   short parallel sweep through cmd/experiments
-#   make bench   the paper-figure benchmarks
+#   make bench   benchmarks (5 counts) + sweep wall time → BENCH_PR2.json
 
 GO ?= go
 
-.PHONY: ci vet build test race smoke bench clean
+.PHONY: ci vet build test race smoke bench bench-smoke clean
 
 ci: vet build race smoke
 
@@ -34,8 +34,24 @@ smoke: build
 	fi
 	@echo "smoke sweep clean: /tmp/fdgrid-smoke.md"
 
-bench:
-	$(GO) test -bench . -benchtime 1x -run XXX .
+# Full benchmark pass: every benchmark 5 times (benchstat wants repeated
+# samples; a duration-based benchtime lets the nanosecond scheduler
+# micro-benchmarks amortize their setup while keeping the sweep-heavy
+# ones tractable), plus three timed runs of the full 151-cell experiment
+# matrix. The parsed record lands in BENCH_PR2.json; a "baseline"
+# section already present there (the committed PR-1 reference) is
+# preserved.
+bench: build
+	$(GO) test -bench . -benchmem -count 5 -benchtime 300ms -run XXX . | tee /tmp/fdgrid-bench.txt
+	rm -f /tmp/fdgrid-sweeptime.txt
+	for i in 1 2 3; do $(GO) run ./cmd/experiments -out /tmp/fdgrid-bench-sweep.md >> /tmp/fdgrid-sweeptime.txt || exit 1; done
+	cat /tmp/fdgrid-sweeptime.txt
+	$(GO) run ./cmd/bench2json -bench /tmp/fdgrid-bench.txt -sweep /tmp/fdgrid-sweeptime.txt -out BENCH_PR2.json
+
+# The bench smoke CI runs: the scheduler micro-benchmarks only, enough
+# to catch a perf-path regression that breaks outright.
+bench-smoke: build
+	$(GO) test -bench 'BenchmarkScheduler' -benchtime 1000x -run XXX .
 
 clean:
 	rm -f /tmp/fdgrid-smoke.md /tmp/fdgrid-smoke.json

@@ -16,6 +16,9 @@ import (
 // predict. cmd/experiments renders the same measurements as the tables
 // of EXPERIMENTS.md.
 
+// benchPing is the tag of the scheduler micro-benchmarks.
+var benchPing = Intern("bench.ping")
+
 // benchCfg is the common workload: n processes, t = ⌊(n−1)/2⌋, one late
 // crash, late stabilization.
 func benchCfg(n int, seed int64) Config {
@@ -511,11 +514,89 @@ func BenchmarkAblationOmegaRoutes(b *testing.B) {
 	})
 }
 
-// BenchmarkSchedulerTick measures the raw cost of one virtual tick
-// (infrastructure number backing all virtual-time metrics).
+// BenchmarkSchedulerTick measures the raw cost of one scheduled virtual
+// tick driving one process step — the minimal unit of simulated work,
+// and the number behind every virtual-time metric: a sweep is millions
+// of these. Under the zero-handoff scheduler the stepping process runs
+// the tick phases itself and dispatches itself, so this path does no
+// goroutine switch at all.
+//
+// (The PR-1 version of this benchmark spawned no processes, so the
+// clock jumped straight to MaxSteps and it measured nothing.)
 func BenchmarkSchedulerTick(b *testing.B) {
-	cfg := Config{N: 8, T: 3, Seed: 1, MaxSteps: sim.Time(b.N) + 1}
-	sys := MustNewSystem(cfg)
+	sys := MustNewSystem(Config{N: 8, T: 3, Seed: 1, MaxSteps: sim.Time(b.N) + 1})
+	sys.Spawn(1, func(env *sim.Env) {
+		for {
+			env.Step()
+		}
+	})
+	for p := 2; p <= 8; p++ {
+		sys.Spawn(ProcID(p), func(env *sim.Env) {
+			for {
+				env.StepUntil(sim.Never)
+			}
+		})
+	}
+	b.ResetTimer()
+	sys.Run(nil)
+}
+
+// BenchmarkSchedulerWakeStorm is the worst-case tick: all 8 processes
+// wake on every tick, so each tick is a chain of 8 direct process-to-
+// process token handoffs (the old scheduler paid 16 switches plus lock
+// round-trips for the same tick). Goroutine switch cost is the floor
+// here.
+func BenchmarkSchedulerWakeStorm(b *testing.B) {
+	const n = 8
+	sys := MustNewSystem(Config{N: n, T: 3, Seed: 1, MaxSteps: sim.Time(b.N) + 1})
+	sys.SpawnAll(func(env *sim.Env) {
+		for {
+			env.Step()
+		}
+	})
+	b.ResetTimer()
+	sys.Run(nil)
+}
+
+// BenchmarkSchedulerSend measures one tick carrying one message: a send
+// (tag metrics, hold lookup, network enqueue), a delivery and two wakes.
+func BenchmarkSchedulerSend(b *testing.B) {
+	sys := MustNewSystem(Config{N: 2, T: 0, Seed: 1, MaxSteps: sim.Time(b.N) + 1, Bandwidth: 2})
+	sys.Spawn(1, func(env *sim.Env) {
+		for {
+			env.Send(2, benchPing, nil)
+			env.Step()
+		}
+	})
+	sys.Spawn(2, func(env *sim.Env) {
+		for {
+			env.Step()
+		}
+	})
+	b.ResetTimer()
+	sys.Run(nil)
+}
+
+// BenchmarkSchedulerSendHolds is BenchmarkSchedulerSend under a scripted
+// adversary with 16 hold rules (all released at tick 1, so delivery
+// behaviour matches): the per-send cost of resolving holds.
+func BenchmarkSchedulerSendHolds(b *testing.B) {
+	holds := make([]Hold, 16)
+	for i := range holds {
+		holds[i] = Hold{From: NewSet(1), To: NewSet(2), Until: 1}
+	}
+	sys := MustNewSystem(Config{N: 2, T: 0, Seed: 1, MaxSteps: sim.Time(b.N) + 1, Bandwidth: 2, Holds: holds})
+	sys.Spawn(1, func(env *sim.Env) {
+		for {
+			env.Send(2, benchPing, nil)
+			env.Step()
+		}
+	})
+	sys.Spawn(2, func(env *sim.Env) {
+		for {
+			env.Step()
+		}
+	})
 	b.ResetTimer()
 	sys.Run(nil)
 }

@@ -1,0 +1,144 @@
+// Command bench2json converts `go test -bench` text output plus
+// cmd/experiments sweep timings into the committed benchmark record
+// (BENCH_PR2.json): per-benchmark ns/op samples (benchstat-compatible —
+// the raw lines are carried verbatim) and custom metrics (vticks/run,
+// msgs/run, …), plus the wall time of the full 151-cell sweep.
+//
+// If the output file already exists and carries a "baseline" section,
+// that section is preserved, so re-running `make bench` refreshes the
+// current numbers without losing the recorded PR-1 reference point.
+//
+// Usage:
+//
+//	bench2json -bench bench.txt -sweep sweep.txt -out BENCH_PR2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fdgrid/internal/benchrec"
+)
+
+// benchLine matches one `go test -bench` result line. The name group is
+// lazy so the `-N` GOMAXPROCS suffix (absent on a 1-CPU box, present
+// everywhere else) lands in its own group and is stripped — baseline
+// keys must compare equal across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+(.*)$`)
+var sweepLine = regexp.MustCompile(`\((\d+) matrices, (\d+) cells, ([0-9.]+)s\)`)
+
+func parseBench(path string, rec *benchrec.Record) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		b := rec.Benchmarks[name]
+		if b == nil {
+			b = &benchrec.Benchmark{Metrics: map[string][]float64{}}
+			rec.Benchmarks[name] = b
+		}
+		b.Raw = append(b.Raw, line)
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsOp = append(b.NsOp, v)
+			default:
+				b.Metrics[unit] = append(b.Metrics[unit], v)
+			}
+		}
+	}
+	return sc.Err()
+}
+
+func parseSweep(path string, rec *benchrec.Record) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if m := sweepLine.FindStringSubmatch(sc.Text()); m != nil {
+			v, err := strconv.ParseFloat(m[3], 64)
+			if err == nil {
+				rec.SweepWallS = append(rec.SweepWallS, v)
+			}
+		}
+	}
+	return sc.Err()
+}
+
+func main() {
+	var (
+		bench   = flag.String("bench", "", "go test -bench output file")
+		sweep   = flag.String("sweep", "", "cmd/experiments output file (wall-time lines)")
+		out     = flag.String("out", "BENCH_PR2.json", "output JSON file")
+		note    = flag.String("note", "", "free-form note recorded in the file")
+		machine = flag.String("machine", "", "machine description recorded in the file")
+	)
+	flag.Parse()
+
+	rec := &benchrec.Record{Note: *note, Machine: *machine, Benchmarks: map[string]*benchrec.Benchmark{}}
+	if prev, err := os.ReadFile(*out); err == nil {
+		var old benchrec.Record
+		if json.Unmarshal(prev, &old) == nil {
+			rec.Baseline = old.Baseline
+			if rec.Note == "" {
+				rec.Note = old.Note
+			}
+			if rec.Machine == "" {
+				rec.Machine = old.Machine
+			}
+		}
+	}
+	if *bench != "" {
+		if err := parseBench(*bench, rec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *sweep != "" {
+		if err := parseSweep(*sweep, rec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	blob, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(rec.Benchmarks))
+	for n := range rec.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("wrote %s: %d benchmarks, %d sweep timings\n", *out, len(names), len(rec.SweepWallS))
+}

@@ -68,8 +68,8 @@ func main() {
 	}
 	fmt.Print(tab.String())
 
-	xmove := rep.Messages.Sent[rbcast.WireTag("wheel.xmove")]
-	lmove := rep.Messages.Sent[rbcast.WireTag("wheel.lmove")]
+	xmove := rep.Messages.Sent[rbcast.WireTag(sim.Intern("wheel.xmove")).String()]
+	lmove := rep.Messages.Sent[rbcast.WireTag(sim.Intern("wheel.lmove")).String()]
 	inq := rep.Messages.Sent["wheel.inquiry"]
 	resp := rep.Messages.Sent["wheel.response"]
 	fmt.Printf("\nvirtual time: %d   messages: x_move=%d l_move=%d inquiry=%d response=%d\n",

@@ -70,7 +70,20 @@ type (
 	Pattern = sim.Pattern
 	// Report summarizes a finished run.
 	Report = sim.Report
+	// Tag is an interned message tag: protocols intern their tag names
+	// once (see Intern) and the wire carries small integer ids, while
+	// metrics snapshots stay string-keyed.
+	Tag = sim.Tag
+	// Message is a point-to-point message as delivered to a process.
+	Message = sim.Message
+	// MetricsSnapshot is the string-keyed per-tag traffic summary of a
+	// finished run.
+	MetricsSnapshot = sim.MetricsSnapshot
 )
+
+// Intern returns the Tag for a message-tag name, allocating it on first
+// use; idempotent and safe for concurrent use.
+func Intern(name string) Tag { return sim.Intern(name) }
 
 // NewSystem builds a system from cfg.
 func NewSystem(cfg Config) (*System, error) { return sim.New(cfg) }

@@ -10,11 +10,12 @@ import (
 	"fdgrid/internal/sim"
 )
 
-// Message tags of the ◇S-based consensus protocol.
-const (
-	tagDSEst      = "dsc.est"
-	tagDSEcho     = "dsc.echo"
-	tagDSDecision = "dsc.decision"
+// Message tags of the ◇S-based consensus protocol, interned once at
+// package load.
+var (
+	tagDSEst      = sim.Intern("dsc.est")
+	tagDSEcho     = sim.Intern("dsc.echo")
+	tagDSDecision = sim.Intern("dsc.decision")
 )
 
 type dsEstMsg struct {

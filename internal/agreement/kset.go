@@ -10,17 +10,18 @@ import (
 	"fdgrid/internal/sim"
 )
 
-// Message tags of the Ω_z-based k-set agreement protocol.
-const (
-	tagPhase1   = "kset.phase1"
-	tagPhase2   = "kset.phase2"
-	tagDecision = "kset.decision"
+// Message tags of the Ω_z-based k-set agreement protocol, interned once
+// at package load.
+var (
+	tagPhase1   = sim.Intern("kset.phase1")
+	tagPhase2   = sim.Intern("kset.phase2")
+	tagDecision = sim.Intern("kset.decision")
 )
 
 // ksetTags parameterizes the wire tags so independent instances can
 // coexist (see RunSequence).
 type ksetTags struct {
-	phase1, phase2, decision string
+	phase1, phase2, decision sim.Tag
 }
 
 var defaultKSetTags = ksetTags{phase1: tagPhase1, phase2: tagPhase2, decision: tagDecision}

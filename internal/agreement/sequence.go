@@ -25,15 +25,17 @@ const seqPrefix = "kseq."
 func seqTags(inst int) ksetTags {
 	p := fmt.Sprintf("%s%d.", seqPrefix, inst)
 	return ksetTags{
-		phase1:   p + "phase1",
-		phase2:   p + "phase2",
-		decision: p + "decision",
+		phase1:   sim.Intern(p + "phase1"),
+		phase2:   sim.Intern(p + "phase2"),
+		decision: sim.Intern(p + "decision"),
 	}
 }
 
 // seqInstanceOf extracts the instance number of an instance-tagged
-// message; ok is false for foreign tags.
-func seqInstanceOf(tag string) (int, bool) {
+// message; ok is false for foreign tags. Parsing goes through the
+// interned name — only the stash path of a sequence run pays it.
+func seqInstanceOf(t sim.Tag) (int, bool) {
+	tag := t.String()
 	if !strings.HasPrefix(tag, seqPrefix) {
 		return 0, false
 	}

@@ -10,13 +10,14 @@ import (
 
 func TestSeqInstanceOf(t *testing.T) {
 	tags := seqTags(7)
-	for _, tag := range []string{tags.phase1, tags.phase2, tags.decision} {
+	for _, tag := range []sim.Tag{tags.phase1, tags.phase2, tags.decision} {
 		inst, ok := seqInstanceOf(tag)
 		if !ok || inst != 7 {
 			t.Errorf("seqInstanceOf(%q) = %d, %v", tag, inst, ok)
 		}
 	}
 	for _, tag := range []string{"kset.phase1", "kseq.x.phase1", "kseq.3", "other"} {
+		tag := sim.Intern(tag)
 		if _, ok := seqInstanceOf(tag); ok {
 			t.Errorf("seqInstanceOf(%q) accepted", tag)
 		}

@@ -1,0 +1,38 @@
+// Package benchrec defines the on-disk layout of the committed
+// benchmark record (BENCH_PR2.json). cmd/bench2json writes it and
+// cmd/experiments renders it (the EXP-PERF section), so the schema
+// lives here, shared, rather than drifting apart in two mirrors.
+package benchrec
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Benchmark aggregates one benchmark's samples across -count runs.
+type Benchmark struct {
+	NsOp    []float64            `json:"ns_op"`
+	Metrics map[string][]float64 `json:"metrics,omitempty"`
+	Raw     []string             `json:"raw"` // benchstat-compatible lines
+}
+
+// Record is the file layout. Baseline, when present, is a Record-shaped
+// reference measurement (the PR-1 scheduler) preserved across
+// regenerations of the current numbers.
+type Record struct {
+	Note       string                `json:"note,omitempty"`
+	Machine    string                `json:"machine,omitempty"`
+	SweepWallS []float64             `json:"sweep_151_cells_wall_s,omitempty"`
+	Benchmarks map[string]*Benchmark `json:"benchmarks"`
+	Baseline   json.RawMessage       `json:"baseline,omitempty"`
+}
+
+// Median of a sample slice (0 when empty).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

@@ -20,6 +20,10 @@ type Omega struct {
 	z     int
 	opt   options
 	final ids.Set
+
+	// anarchy memoizes the pure per-(reader, epoch) pre-stabilization
+	// draw (run-token owned; outputs unchanged by the cache).
+	anarchy []anarchyEpoch // index by reader id
 }
 
 var _ Leader = (*Omega)(nil)
@@ -35,7 +39,7 @@ func NewOmega(sys *sim.System, z int, opts ...Option) *Omega {
 	for _, fn := range opts {
 		fn(&o)
 	}
-	w := &Omega{sys: sys, z: z, opt: o}
+	w := &Omega{sys: sys, z: z, opt: o, anarchy: make([]anarchyEpoch, n+1)}
 	w.final = drawTrusted(sys, z, o)
 	return w
 }
@@ -83,11 +87,16 @@ func (w *Omega) Trusted(p ids.ProcID) ids.Set {
 		return w.final
 	}
 	// Anarchy: an arbitrary set of at most z processes, per process and
-	// per epoch.
-	n := w.sys.Config().N
+	// per epoch — memoized, the draw is a pure function of both.
 	epoch := epochOf(now, w.opt.epoch)
+	if c := &w.anarchy[p]; c.ok && c.epoch == epoch {
+		return c.set
+	}
+	n := w.sys.Config().N
 	seed := uint64(w.sys.Config().Seed)
 	size := int(mix(seed, 0x63, uint64(p), epoch, w.opt.leaderSalt) % uint64(w.z+1))
-	return pickDistinct(ids.EmptySet(), ids.FullSet(n), size,
+	set := pickDistinct(ids.EmptySet(), ids.FullSet(n), size,
 		mix(seed, 0x64, uint64(p), epoch, w.opt.leaderSalt))
+	w.anarchy[p] = anarchyEpoch{epoch: epoch, ok: true, set: set}
+	return set
 }

@@ -23,6 +23,11 @@ type Phi struct {
 	y         int
 	perpetual bool
 	opt       options
+
+	// crashed memoizes the crashed-by set between crash events, turning
+	// the post-stabilization AllCrashed scan into one subset test
+	// (run-token owned; answers unchanged).
+	crashed crashWindow
 }
 
 var _ Querier = (*Phi)(nil)
@@ -81,5 +86,9 @@ func (f *Phi) Query(p ids.ProcID, x ids.Set) bool {
 		return chance(0.5, uint64(f.sys.Config().Seed), 0x71, uint64(p),
 			setKey(x), epochOf(now, f.opt.epoch))
 	}
-	return f.sys.Pattern().AllCrashed(x, now-f.opt.lag)
+	at := now - f.opt.lag
+	if !f.crashed.covers(at) {
+		f.crashed = crashedWindowAt(f.sys.Pattern(), at)
+	}
+	return x.SubsetOf(f.crashed.set)
 }

@@ -2,7 +2,6 @@ package fd
 
 import (
 	"fmt"
-	"sync"
 
 	"fdgrid/internal/ids"
 )
@@ -19,7 +18,6 @@ import (
 type Psi struct {
 	*Phi
 
-	mu    sync.Mutex
 	chain []ids.Set // distinct queried sets, ordered by size
 }
 
@@ -37,8 +35,6 @@ func (f *Psi) Query(p ids.ProcID, x ids.Set) bool {
 }
 
 func (f *Psi) record(p ids.ProcID, x ids.Set) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	for _, prev := range f.chain {
 		if prev.Equal(x) {
 			return
@@ -64,7 +60,5 @@ func (f *Psi) record(p ids.ProcID, x ids.Set) {
 
 // ChainLen reports how many distinct sets have been queried (tests).
 func (f *Psi) ChainLen() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	return len(f.chain)
 }

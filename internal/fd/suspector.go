@@ -24,6 +24,29 @@ type Suspect struct {
 	opt       options
 	leader    ids.ProcID
 	scope     ids.Set
+
+	// Memoization of the pure per-epoch draws (run-token owned, like all
+	// oracle reads — see the internal/sim concurrency contract). Outputs
+	// are unchanged: the anarchy set is a pure function of (reader,
+	// epoch) and the crashed set a step function of time, so caching
+	// only skips recomputation.
+	anarchy []anarchyEpoch // index by reader id
+	crashed crashWindow
+}
+
+// anarchyEpoch caches one reader's spurious-suspicion draw for an epoch.
+type anarchyEpoch struct {
+	epoch uint64
+	ok    bool
+	set   ids.Set
+}
+
+// crashWindow caches the crashed-by set over the half-open time window
+// [from, till) within which it cannot change.
+type crashWindow struct {
+	ok         bool
+	from, till sim.Time
+	set        ids.Set
 }
 
 var _ Suspector = (*Suspect)(nil)
@@ -48,7 +71,8 @@ func newSuspect(sys *sim.System, x int, perpetual bool, opts []Option) *Suspect 
 	for _, fn := range opts {
 		fn(&o)
 	}
-	s := &Suspect{sys: sys, x: x, perpetual: perpetual, opt: o}
+	s := &Suspect{sys: sys, x: x, perpetual: perpetual, opt: o,
+		anarchy: make([]anarchyEpoch, n+1)}
 	s.leader, s.scope = drawScope(sys, x, o)
 	return s
 }
@@ -91,37 +115,83 @@ func (s *Suspect) Scope() ids.Set { return s.scope }
 // X returns the accuracy scope parameter x.
 func (s *Suspect) X() int { return s.x }
 
-// Suspected returns suspected_p at the current time.
+// Suspected returns suspected_p at the current time: the crashed
+// processes (strong completeness, shifted by the detection lag) plus
+// the reader's per-epoch spurious draw while anarchy is active, minus
+// the reader itself (this oracle never self-suspects — a legal choice)
+// and, under the accuracy scope, the protected leader.
 func (s *Suspect) Suspected(p ids.ProcID) ids.Set {
 	now := s.sys.Now()
 	pat := s.sys.Pattern()
 	if pat.Crashed(p, now) {
 		return ids.EmptySet() // a crashed process suspects no process
 	}
-	n := s.sys.Config().N
 	stab := s.opt.stab(s.sys)
-	anarchy := now < stab || s.opt.hostile
-	epoch := epochOf(now, s.opt.epoch)
-	seed := uint64(s.sys.Config().Seed)
-
-	var out ids.Set
-	for q := 1; q <= n; q++ {
-		id := ids.ProcID(q)
-		if id == p {
-			continue // this oracle never self-suspects (a legal choice)
-		}
-		if pat.Crashed(id, now-s.opt.lag) {
-			out = out.Add(id) // strong completeness
-			continue
-		}
-		if anarchy && chance(s.opt.anarchyRate, seed, 0xa1, uint64(p), uint64(q), epoch, s.opt.leaderSalt) {
-			out = out.Add(id)
-		}
+	out := s.crashedBy(now - s.opt.lag)
+	if now < stab || s.opt.hostile {
+		out = out.Union(s.anarchyDraw(p, epochOf(now, s.opt.epoch)))
 	}
+	out = out.Remove(p)
 	// Limited-scope accuracy: members of Q do not suspect the leader —
 	// always for S_x, after stabilization for ◇S_x.
 	if s.scope.Contains(p) && (s.perpetual || now >= stab) {
 		out = out.Remove(s.leader)
 	}
 	return out
+}
+
+// anarchyDraw returns reader p's spurious-suspicion set for an epoch,
+// memoized: one splitmix chain per process pair per epoch instead of
+// per read.
+func (s *Suspect) anarchyDraw(p ids.ProcID, epoch uint64) ids.Set {
+	if c := &s.anarchy[p]; c.ok && c.epoch == epoch {
+		return c.set
+	}
+	n := s.sys.Config().N
+	seed := uint64(s.sys.Config().Seed)
+	var set ids.Set
+	for q := 1; q <= n; q++ {
+		if ids.ProcID(q) == p {
+			continue
+		}
+		if chance(s.opt.anarchyRate, seed, 0xa1, uint64(p), uint64(q), epoch, s.opt.leaderSalt) {
+			set = set.Add(ids.ProcID(q))
+		}
+	}
+	s.anarchy[p] = anarchyEpoch{epoch: epoch, ok: true, set: set}
+	return set
+}
+
+// crashedBy returns the set of processes crashed at or before t,
+// memoized over the window between crash events.
+func (s *Suspect) crashedBy(t sim.Time) ids.Set {
+	if !s.crashed.covers(t) {
+		s.crashed = crashedWindowAt(s.sys.Pattern(), t)
+	}
+	return s.crashed.set
+}
+
+// covers reports whether the cached window is valid at t.
+func (w crashWindow) covers(t sim.Time) bool {
+	return w.ok && t >= w.from && t < w.till
+}
+
+// crashedWindowAt computes the crashed-by set at t and the window
+// [from, till) of times sharing it.
+func crashedWindowAt(pat *sim.Pattern, t sim.Time) crashWindow {
+	var set ids.Set
+	from, till := sim.Time(-1<<62), sim.Never
+	for q := 1; q <= pat.N(); q++ {
+		id := ids.ProcID(q)
+		ct := pat.CrashTime(id)
+		if ct <= t {
+			set = set.Add(id)
+			if ct > from {
+				from = ct
+			}
+		} else if ct < till {
+			till = ct
+		}
+	}
+	return crashWindow{ok: true, from: from, till: till, set: set}
 }

@@ -1,8 +1,6 @@
 package fd
 
 import (
-	"sync"
-
 	"fdgrid/internal/ids"
 	"fdgrid/internal/sim"
 )
@@ -19,12 +17,11 @@ type SetSample struct {
 // WatchLeader or WatchSuspector before System.Run; inspect it afterwards
 // with the Check* methods in check.go.
 type SetTrace struct {
-	mu      sync.Mutex
 	sys     *sim.System
 	n       int
-	byProc  map[ids.ProcID][]SetSample
-	last    map[ids.ProcID]ids.Set
-	started map[ids.ProcID]bool
+	byProc  [][]SetSample // index 1..n
+	last    []ids.Set
+	started []bool
 	horizon sim.Time
 }
 
@@ -33,9 +30,9 @@ func newSetTrace(sys *sim.System) *SetTrace {
 	return &SetTrace{
 		sys:     sys,
 		n:       n,
-		byProc:  make(map[ids.ProcID][]SetSample, n),
-		last:    make(map[ids.ProcID]ids.Set, n),
-		started: make(map[ids.ProcID]bool, n),
+		byProc:  make([][]SetSample, n+1),
+		last:    make([]ids.Set, n+1),
+		started: make([]bool, n+1),
 	}
 }
 
@@ -90,8 +87,6 @@ func WatchSuspectorSparse(sys *sim.System, s Suspector) *SetTrace {
 }
 
 func (tr *SetTrace) observe(p ids.ProcID, now sim.Time, v ids.Set) {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
 	if tr.started[p] && tr.last[p].Equal(v) {
 		return
 	}
@@ -101,9 +96,7 @@ func (tr *SetTrace) observe(p ids.ProcID, now sim.Time, v ids.Set) {
 }
 
 func (tr *SetTrace) tick(now sim.Time) {
-	tr.mu.Lock()
 	tr.horizon = now
-	tr.mu.Unlock()
 }
 
 // StableFor returns a stop predicate for System.Run: it fires once every
@@ -113,7 +106,6 @@ func (tr *SetTrace) tick(now sim.Time) {
 // genuinely post-stabilization window.
 func (tr *SetTrace) StableFor(procs ids.Set, margin sim.Time) func() bool {
 	return func() bool {
-		tr.mu.Lock()
 		stable := true
 		var lastChange sim.Time = -1
 		procs.ForEach(func(p ids.ProcID) bool {
@@ -133,7 +125,6 @@ func (tr *SetTrace) StableFor(procs ids.Set, margin sim.Time) func() bool {
 			}
 			return true
 		})
-		tr.mu.Unlock()
 		if !stable && lastChange >= 0 {
 			// Tell the scheduler when this predicate can next flip, so
 			// clock jumps land on (not past) the earliest stopping tick.
@@ -145,32 +136,38 @@ func (tr *SetTrace) StableFor(procs ids.Set, margin sim.Time) func() bool {
 
 // Horizon returns the last sampled tick.
 func (tr *SetTrace) Horizon() sim.Time {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
 	return tr.horizon
+}
+
+// inRange reports whether p is a process of the watched system (the
+// accessors tolerate unknown ids, reporting "never sampled").
+func (tr *SetTrace) inRange(p ids.ProcID) bool {
+	return p >= 1 && int(p) <= tr.n
 }
 
 // Samples returns the recorded change points of process p.
 func (tr *SetTrace) Samples(p ids.ProcID) []SetSample {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
+	if !tr.inRange(p) {
+		return nil
+	}
 	return append([]SetSample(nil), tr.byProc[p]...)
 }
 
 // FinalValue returns the last recorded output of p and whether p was ever
 // sampled.
 func (tr *SetTrace) FinalValue(p ids.ProcID) (ids.Set, bool) {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	s, ok := tr.last[p]
-	return s, ok && tr.started[p]
+	if !tr.inRange(p) {
+		return ids.EmptySet(), false
+	}
+	return tr.last[p], tr.started[p]
 }
 
 // LastChange returns the time of p's last output change (0 if never
 // sampled).
 func (tr *SetTrace) LastChange(p ids.ProcID) sim.Time {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
+	if !tr.inRange(p) {
+		return 0
+	}
 	ss := tr.byProc[p]
 	if len(ss) == 0 {
 		return 0
@@ -182,8 +179,9 @@ func (tr *SetTrace) LastChange(p ids.ProcID) sim.Time {
 // q, or -1 if it never did. If the final output contains q it returns the
 // horizon.
 func (tr *SetTrace) lastTimeContaining(p, q ids.ProcID) sim.Time {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
+	if !tr.inRange(p) {
+		return -1
+	}
 	ss := tr.byProc[p]
 	last := sim.Time(-1)
 	for i, s := range ss {
@@ -209,8 +207,6 @@ func (tr *SetTrace) everContained(p, q ids.ProcID) bool {
 // simple: it returns the latest "last violation end" over procs for the
 // given per-sample predicate.
 func (tr *SetTrace) lastViolation(procs ids.Set, ok func(p ids.ProcID, v ids.Set) bool) sim.Time {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
 	worst := sim.Time(-1)
 	procs.ForEach(func(p ids.ProcID) bool {
 		ss := tr.byProc[p]

@@ -16,9 +16,10 @@ import (
 
 // Layer is one protocol layer in the stack.
 //
-// Layers run entirely on the owning process's goroutine; they need
-// internal locking only if they expose state to other goroutines (e.g.
-// emulated failure detector outputs read by samplers).
+// Layers run entirely on the owning process's goroutine. Emulated
+// failure detector outputs they expose are read by samplers and other
+// processes under the same run token (see the internal/sim concurrency
+// contract), so no internal locking is needed.
 type Layer interface {
 	// Handle inspects one message coming up the stack. It returns the
 	// (possibly rewritten) message and true to pass it further up, or
@@ -44,18 +45,35 @@ type WakeHinter interface {
 type Node struct {
 	env    *sim.Env
 	layers []Layer // bottom (closest to the network) first
+
+	// hinters caches the layers' WakeHinter views; dense is set when any
+	// layer lacks one, pinning the node to every-tick wakes. Cached at
+	// assembly so the per-step path does no interface assertions.
+	hinters []WakeHinter
+	dense   bool
 }
 
 // New assembles a stack over env; layers are ordered bottom-up.
 func New(env *sim.Env, layers ...Layer) *Node {
-	return &Node{env: env, layers: layers}
+	nd := &Node{env: env}
+	for _, l := range layers {
+		nd.Push(l)
+	}
+	return nd
 }
 
 // Env returns the process environment.
 func (nd *Node) Env() *sim.Env { return nd.env }
 
 // Push appends a layer on top of the stack.
-func (nd *Node) Push(l Layer) { nd.layers = append(nd.layers, l) }
+func (nd *Node) Push(l Layer) {
+	nd.layers = append(nd.layers, l)
+	if h, ok := l.(WakeHinter); ok {
+		nd.hinters = append(nd.hinters, h)
+	} else {
+		nd.dense = true
+	}
+}
 
 // Step advances the event loop once: it blocks for the next message or
 // tick, lets every layer poll, and filters a received message up the
@@ -74,15 +92,16 @@ func (nd *Node) StepUntil(wake sim.Time) (sim.Message, bool) {
 }
 
 func (nd *Node) step(wake sim.Time) (sim.Message, bool) {
-	now := nd.env.Now()
-	for _, l := range nd.layers {
-		h, ok := l.(WakeHinter)
-		if !ok {
-			wake = now + 1
-			break
-		}
-		if w := h.NextWake(now); w < wake {
-			wake = w
+	if nd.dense {
+		// Some layer declares no wake hint: wake every tick (StepUntil
+		// clamps a past wake to the next tick).
+		wake = 0
+	} else {
+		now := nd.env.Now()
+		for _, h := range nd.hinters {
+			if w := h.NextWake(now); w < wake {
+				wake = w
+			}
 		}
 	}
 	m, ok := nd.env.StepUntil(wake)

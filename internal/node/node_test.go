@@ -44,17 +44,17 @@ func (l *countingLayer) counts() (int, int) {
 
 func TestStackFiltersBottomUp(t *testing.T) {
 	sys := sim.MustNew(sim.Config{N: 2, T: 0, Seed: 1, MaxSteps: 50_000})
-	bottom := &countingLayer{consume: func(m sim.Message) bool { return m.Tag == "eat" }}
+	bottom := &countingLayer{consume: func(m sim.Message) bool { return m.Tag == sim.Intern("eat") }}
 	top := &countingLayer{rewrite: func(m sim.Message) sim.Message {
-		m.Tag = "rewritten:" + m.Tag
+		m.Tag = sim.Intern("rewritten:" + m.Tag.String())
 		return m
 	}}
 	var mu sync.Mutex
 	var got []string
 	sys.Spawn(1, func(env *sim.Env) {
-		env.Send(2, "eat", nil)
-		env.Send(2, "pass", nil)
-		env.Send(2, "pass2", nil)
+		env.Send(2, sim.Intern("eat"), nil)
+		env.Send(2, sim.Intern("pass"), nil)
+		env.Send(2, sim.Intern("pass2"), nil)
 		for {
 			env.Step()
 		}
@@ -65,7 +65,7 @@ func TestStackFiltersBottomUp(t *testing.T) {
 			m, ok := nd.Step()
 			if ok {
 				mu.Lock()
-				got = append(got, m.Tag)
+				got = append(got, m.Tag.String())
 				mu.Unlock()
 			}
 		}
@@ -143,7 +143,7 @@ func TestPushAddsLayer(t *testing.T) {
 		mu.Lock()
 		started = true
 		mu.Unlock()
-		env.Send(2, "x", nil)
+		env.Send(2, sim.Intern("x"), nil)
 		for {
 			env.Step()
 		}
@@ -156,7 +156,7 @@ func TestPushAddsLayer(t *testing.T) {
 		}
 		for {
 			m, ok := nd.Step()
-			if ok && m.Tag == "x" {
+			if ok && m.Tag == sim.Intern("x") {
 				mu.Lock()
 				sawAny = true
 				mu.Unlock()

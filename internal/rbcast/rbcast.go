@@ -12,9 +12,6 @@
 package rbcast
 
 import (
-	"fmt"
-	"strings"
-
 	"fdgrid/internal/ids"
 	"fdgrid/internal/sim"
 )
@@ -30,10 +27,12 @@ type msgID struct {
 	Seq    int
 }
 
-// frame is the wire payload of a relayed R-broadcast message.
+// frame is the wire payload of a relayed R-broadcast message. Frames are
+// what identifies rbcast traffic on the wire: only this package creates
+// them, so a message whose payload is a frame is an R-broadcast.
 type frame struct {
 	ID      msgID
-	Tag     string
+	Tag     sim.Tag
 	Payload any
 }
 
@@ -44,28 +43,40 @@ type Layer struct {
 	env     *sim.Env
 	nextSeq int
 	seen    map[msgID]bool
+	wire    map[sim.Tag]sim.Tag // protocol tag → interned wire tag
 }
 
 // New returns a reliable-broadcast layer for env.
 func New(env *sim.Env) *Layer {
-	return &Layer{env: env, seen: make(map[msgID]bool)}
+	return &Layer{env: env, seen: make(map[msgID]bool), wire: make(map[sim.Tag]sim.Tag)}
 }
 
 // Broadcast R-broadcasts a protocol message (tag, payload) to all
 // processes, the sender included.
-func (l *Layer) Broadcast(tag string, payload any) {
+func (l *Layer) Broadcast(tag sim.Tag, payload any) {
 	l.nextSeq++
 	f := frame{
 		ID:      msgID{Origin: l.env.ID(), Seq: l.nextSeq},
 		Tag:     tag,
 		Payload: payload,
 	}
-	l.env.Broadcast(framePrefix+tag, f)
+	l.env.Broadcast(l.wireTag(tag), f)
+}
+
+// wireTag returns the wire tag for a protocol tag, interning on first
+// use and caching per layer so repeated broadcasts cost one map hit.
+func (l *Layer) wireTag(tag sim.Tag) sim.Tag {
+	if w, ok := l.wire[tag]; ok {
+		return w
+	}
+	w := WireTag(tag)
+	l.wire[tag] = w
+	return w
 }
 
 // WireTag returns the network-level tag under which R-broadcasts of the
 // given protocol tag travel (for metrics queries).
-func WireTag(tag string) string { return framePrefix + tag }
+func WireTag(tag sim.Tag) sim.Tag { return sim.Intern(framePrefix + tag.String()) }
 
 // Poll implements node.Layer; the relay logic is purely message-driven.
 func (l *Layer) Poll() {}
@@ -78,16 +89,14 @@ func (l *Layer) NextWake(sim.Time) sim.Time { return sim.Never }
 // event loop.
 //
 // Plain (non-rbcast) messages pass through unchanged with deliver=true.
-// For rbcast frames: the first copy is relayed to everyone and returned as
-// the R-delivered protocol message, with From rewritten to the origin;
-// duplicate copies return deliver=false and must be ignored.
+// For rbcast frames (identified by their frame payload): the first copy
+// is relayed to everyone and returned as the R-delivered protocol
+// message, with From rewritten to the origin; duplicate copies return
+// deliver=false and must be ignored.
 func (l *Layer) Handle(m sim.Message) (sim.Message, bool) {
-	if !strings.HasPrefix(m.Tag, framePrefix) {
-		return m, true
-	}
 	f, ok := m.Payload.(frame)
 	if !ok {
-		panic(fmt.Sprintf("rbcast: frame payload has type %T", m.Payload))
+		return m, true
 	}
 	if l.seen[f.ID] {
 		return sim.Message{}, false

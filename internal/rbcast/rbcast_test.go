@@ -11,7 +11,7 @@ import (
 // collector runs an event loop R-delivering everything it sees.
 type record struct {
 	from ids.ProcID
-	tag  string
+	tag  sim.Tag
 	val  any
 }
 
@@ -69,8 +69,8 @@ func TestAllCorrectDeliverOnce(t *testing.T) {
 	const n = 4
 	s := sim.MustNew(sim.Config{N: n, T: 0, Seed: 42, MaxSteps: 200_000})
 	senders := map[ids.ProcID]func(*sim.Env, *Layer){
-		1: func(e *sim.Env, l *Layer) { l.Broadcast("a", "va") },
-		3: func(e *sim.Env, l *Layer) { l.Broadcast("b", "vb"); l.Broadcast("c", "vc") },
+		1: func(e *sim.Env, l *Layer) { l.Broadcast(sim.Intern("a"), "va") },
+		3: func(e *sim.Env, l *Layer) { l.Broadcast(sim.Intern("b"), "vb"); l.Broadcast(sim.Intern("c"), "vc") },
 	}
 	got := runCollectors(t, s, senders, 3)
 	for p := 1; p <= n; p++ {
@@ -80,8 +80,8 @@ func TestAllCorrectDeliverOnce(t *testing.T) {
 		}
 		count := map[string]int{}
 		for _, r := range recs {
-			count[r.tag]++
-			switch r.tag {
+			count[r.tag.String()]++
+			switch r.tag.String() {
 			case "a":
 				if r.from != 1 || r.val != "va" {
 					t.Errorf("process %d: bad record %v", p, r)
@@ -118,14 +118,14 @@ func TestTerminationDespiteOriginCrash(t *testing.T) {
 			s.Spawn(id, func(e *sim.Env) {
 				l := New(e)
 				if e.ID() == 1 {
-					l.Broadcast("m", 99)
+					l.Broadcast(sim.Intern("m"), 99)
 				}
 				for {
 					m, ok := e.Step()
 					if !ok {
 						continue
 					}
-					if inner, del := l.Handle(m); del && inner.Tag == "m" {
+					if inner, del := l.Handle(m); del && inner.Tag == sim.Intern("m") {
 						mu.Lock()
 						delivered[e.ID()] = true
 						mu.Unlock()
@@ -156,7 +156,7 @@ func TestTerminationDespiteOriginCrash(t *testing.T) {
 func TestPlainMessagesPassThrough(t *testing.T) {
 	s := sim.MustNew(sim.Config{N: 2, T: 0, Seed: 8, MaxSteps: 50_000})
 	senders := map[ids.ProcID]func(*sim.Env, *Layer){
-		1: func(e *sim.Env, l *Layer) { e.Send(2, "plain", 7) },
+		1: func(e *sim.Env, l *Layer) { e.Send(2, sim.Intern("plain"), 7) },
 	}
 	var mu sync.Mutex
 	var got []record
@@ -184,7 +184,7 @@ func TestPlainMessagesPassThrough(t *testing.T) {
 	s.Run(func() bool { mu.Lock(); defer mu.Unlock(); return len(got) > 0 })
 	mu.Lock()
 	defer mu.Unlock()
-	if len(got) != 1 || got[0].tag != "plain" || got[0].val != 7 || got[0].from != 1 {
+	if len(got) != 1 || got[0].tag != sim.Intern("plain") || got[0].val != 7 || got[0].from != 1 {
 		t.Fatalf("got %v", got)
 	}
 }

@@ -1,8 +1,6 @@
 package reduction
 
 import (
-	"sync"
-
 	"fdgrid/internal/fd"
 	"fdgrid/internal/ids"
 	"fdgrid/internal/node"
@@ -20,7 +18,6 @@ const (
 // Fig. 9 addition into a failure detector of class S (x+y > t, perpetual
 // inputs) or ◇S (eventual inputs), readable through fd.Suspector.
 type SEmulation struct {
-	mu   sync.RWMutex
 	sets map[ids.ProcID]ids.Set
 }
 
@@ -32,16 +29,12 @@ func NewSEmulation() *SEmulation {
 }
 
 func (e *SEmulation) set(p ids.ProcID, s ids.Set) {
-	e.mu.Lock()
 	e.sets[p] = s
-	e.mu.Unlock()
 }
 
 // Suspected implements fd.Suspector. A process that has not yet computed
 // an output suspects nobody.
 func (e *SEmulation) Suspected(p ids.ProcID) ids.Set {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	return e.sets[p]
 }
 

@@ -41,7 +41,7 @@ func TestLowerWheelDeferredMatching(t *testing.T) {
 	}
 	// Each R-broadcast costs 9 wire messages at n=3 (3 origin sends +
 	// 3×2 first-receipt relays); between 1 and 3 origins broadcast.
-	sent := sys.Metrics().Sent("rbcast:wheel.xmove")
+	sent := sys.Metrics().Sent(sim.Intern("rbcast:wheel.xmove"))
 	if sent%9 != 0 || sent < 9 || sent > 27 {
 		t.Errorf("x_move wire messages = %d, want a multiple of 9 in [9, 27]", sent)
 	}

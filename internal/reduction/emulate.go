@@ -1,8 +1,6 @@
 package reduction
 
 import (
-	"sync"
-
 	"fdgrid/internal/fd"
 	"fdgrid/internal/ids"
 	"fdgrid/internal/node"
@@ -16,7 +14,6 @@ import (
 // processes start; an unregistered process reads the empty set (it has
 // taken no step yet).
 type OmegaEmulation struct {
-	mu     sync.RWMutex
 	wheels map[ids.ProcID]*UpperWheel
 }
 
@@ -29,8 +26,6 @@ func NewOmegaEmulation() *OmegaEmulation {
 
 // Register binds process p's upper wheel.
 func (e *OmegaEmulation) Register(p ids.ProcID, w *UpperWheel) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.wheels[p] = w
 }
 
@@ -42,9 +37,7 @@ func (e *OmegaEmulation) NextChange(sim.Time) sim.Time { return sim.Never }
 
 // Trusted implements fd.Leader.
 func (e *OmegaEmulation) Trusted(p ids.ProcID) ids.Set {
-	e.mu.RLock()
 	w := e.wheels[p]
-	e.mu.RUnlock()
 	if w == nil {
 		return ids.EmptySet()
 	}
@@ -54,7 +47,6 @@ func (e *OmegaEmulation) Trusted(p ids.ProcID) ids.Set {
 // ReprView aggregates per-process lower wheels, exposing the emulated
 // representatives of Theorem 6 (diagnostics and tests).
 type ReprView struct {
-	mu     sync.RWMutex
 	wheels map[ids.ProcID]*LowerWheel
 }
 
@@ -65,17 +57,13 @@ func NewReprView() *ReprView {
 
 // Register binds process p's lower wheel.
 func (v *ReprView) Register(p ids.ProcID, w *LowerWheel) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
 	v.wheels[p] = w
 }
 
 // Repr returns process p's current representative (p itself before the
 // process registered).
 func (v *ReprView) Repr(p ids.ProcID) ids.ProcID {
-	v.mu.RLock()
 	w := v.wheels[p]
-	v.mu.RUnlock()
 	if w == nil {
 		return p
 	}
@@ -85,9 +73,7 @@ func (v *ReprView) Repr(p ids.ProcID) ids.ProcID {
 // Pos returns process p's current lower-ring position and whether p has
 // registered.
 func (v *ReprView) Pos(p ids.ProcID) (ids.XPos, bool) {
-	v.mu.RLock()
 	w := v.wheels[p]
-	v.mu.RUnlock()
 	if w == nil {
 		return ids.XPos{}, false
 	}

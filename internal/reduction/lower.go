@@ -14,7 +14,6 @@ package reduction
 
 import (
 	"fmt"
-	"sync"
 
 	"fdgrid/internal/fd"
 	"fdgrid/internal/ids"
@@ -24,7 +23,7 @@ import (
 )
 
 // tagXMove is the lower wheel's R-broadcast move message.
-const tagXMove = "wheel.xmove"
+var tagXMove = sim.Intern("wheel.xmove")
 
 type xMoveMsg struct {
 	Pos ids.XPos
@@ -54,7 +53,6 @@ type LowerWheel struct {
 	sentThisVisit bool
 	moves         int // consumed moves (diagnostics)
 
-	mu   sync.Mutex
 	pos  ids.XPos
 	repr ids.ProcID
 }
@@ -79,25 +77,21 @@ func NewLowerWheel(env *sim.Env, rb *rbcast.Layer, susp fd.Suspector, x int) *Lo
 	return w
 }
 
-// Repr returns this process's current representative repr_i. Safe for
-// concurrent use.
+// Repr returns this process's current representative repr_i. Like all
+// protocol state it is run-token owned (see the internal/sim
+// concurrency contract): read it from protocol code, samplers or stop
+// predicates, or after Run returns.
 func (w *LowerWheel) Repr() ids.ProcID {
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	return w.repr
 }
 
 // Pos returns the current ring position (diagnostics, tests).
 func (w *LowerWheel) Pos() ids.XPos {
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	return w.pos
 }
 
 // Moves returns how many x_move messages this process has consumed.
 func (w *LowerWheel) Moves() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	return w.moves
 }
 
@@ -126,8 +120,7 @@ func (w *LowerWheel) Handle(m sim.Message) (sim.Message, bool) {
 // Poll implements node.Layer: consume matching buffered moves (task T2),
 // then run one iteration of task T1.
 func (w *LowerWheel) Poll() {
-	w.mu.Lock()
-	for w.buffered[w.pos] > 0 {
+	for len(w.buffered) > 0 && w.buffered[w.pos] > 0 {
 		w.buffered[w.pos]--
 		w.ring.Next()
 		w.pos = w.ring.Current()
@@ -146,7 +139,6 @@ func (w *LowerWheel) Poll() {
 	if shouldSend {
 		w.sentThisVisit = true
 	}
-	w.mu.Unlock()
 
 	if shouldSend {
 		w.rb.Broadcast(tagXMove, xMoveMsg{Pos: pos})

@@ -151,7 +151,7 @@ func TestLowerWheelQuiescent(t *testing.T) {
 	sys := sim.MustNew(cfg)
 	susp := fd.NewEvtS(sys, 2)
 	_ = SpawnLowerWheel(sys, susp, 2)
-	wire := rbcast.WireTag("wheel.xmove")
+	wire := rbcast.WireTag(tagXMove)
 	var at80 int64 = -1
 	sys.OnTick(func(now sim.Time) {
 		if now == 80_000 {
@@ -162,10 +162,10 @@ func TestLowerWheelQuiescent(t *testing.T) {
 	if at80 < 0 {
 		t.Fatal("sampling tick never hit")
 	}
-	if final := rep.Messages.Sent[wire]; final != at80 {
+	if final := rep.Messages.Sent[wire.String()]; final != at80 {
 		t.Errorf("x_move traffic after tick 80k: %d → %d (not quiescent)", at80, final)
 	}
-	if rep.Messages.Sent[wire] == 0 {
+	if rep.Messages.Sent[wire.String()] == 0 {
 		t.Error("no x_move was ever sent; anarchy did not exercise the wheel")
 	}
 }
@@ -343,7 +343,7 @@ func TestSpawnTwoWheelsMessageMix(t *testing.T) {
 	if inquiriesAt30k <= 0 {
 		t.Fatal("no inquiries sent")
 	}
-	if final := rep.Messages.Sent[tagInquiry]; final <= inquiriesAt30k {
+	if final := rep.Messages.Sent[tagInquiry.String()]; final <= inquiriesAt30k {
 		t.Errorf("inquiry traffic stopped (%d → %d); upper wheel should not be quiescent", inquiriesAt30k, final)
 	}
 }

@@ -2,7 +2,6 @@ package reduction
 
 import (
 	"fmt"
-	"sync"
 
 	"fdgrid/internal/fd"
 	"fdgrid/internal/ids"
@@ -33,7 +32,6 @@ type SingleWheelOmega struct {
 	buffered      map[ids.ProcID]int
 	sentThisVisit bool
 
-	mu        sync.Mutex
 	candidate ids.ProcID
 	moves     int
 }
@@ -41,7 +39,7 @@ type SingleWheelOmega struct {
 var _ node.Layer = (*SingleWheelOmega)(nil)
 
 // tagCMove is the single wheel's R-broadcast move message.
-const tagCMove = "wheel.cmove"
+var tagCMove = sim.Intern("wheel.cmove")
 
 type cMoveMsg struct {
 	Candidate ids.ProcID
@@ -59,17 +57,13 @@ func NewSingleWheelOmega(env *sim.Env, rb *rbcast.Layer, susp fd.Suspector) *Sin
 }
 
 // Trusted returns the emulated Ω output: the current candidate leader
-// as a singleton. Safe for concurrent use.
+// as a singleton. Run-token owned, like all emulated outputs.
 func (w *SingleWheelOmega) Trusted() ids.Set {
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	return ids.NewSet(w.candidate)
 }
 
 // Moves returns how many c_move messages this process consumed.
 func (w *SingleWheelOmega) Moves() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	return w.moves
 }
 
@@ -90,8 +84,7 @@ func (w *SingleWheelOmega) Handle(m sim.Message) (sim.Message, bool) {
 // the current candidate (one broadcast per visit).
 func (w *SingleWheelOmega) Poll() {
 	n := ids.ProcID(w.env.N())
-	w.mu.Lock()
-	for w.buffered[w.candidate] > 0 {
+	for len(w.buffered) > 0 && w.buffered[w.candidate] > 0 {
 		w.buffered[w.candidate]--
 		w.candidate++
 		if w.candidate > n {
@@ -105,7 +98,6 @@ func (w *SingleWheelOmega) Poll() {
 	if shouldSend {
 		w.sentThisVisit = true
 	}
-	w.mu.Unlock()
 
 	if shouldSend {
 		w.rb.Broadcast(tagCMove, cMoveMsg{Candidate: cand})
@@ -115,7 +107,6 @@ func (w *SingleWheelOmega) Poll() {
 // SingleWheelEmulation aggregates per-process single wheels into an
 // fd.Leader of class Ω (= Ω_1).
 type SingleWheelEmulation struct {
-	mu     sync.RWMutex
 	wheels map[ids.ProcID]*SingleWheelOmega
 }
 
@@ -128,16 +119,12 @@ func NewSingleWheelEmulation() *SingleWheelEmulation {
 
 // Register binds process p's wheel.
 func (e *SingleWheelEmulation) Register(p ids.ProcID, w *SingleWheelOmega) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.wheels[p] = w
 }
 
 // Trusted implements fd.Leader.
 func (e *SingleWheelEmulation) Trusted(p ids.ProcID) ids.Set {
-	e.mu.RLock()
 	w := e.wheels[p]
-	e.mu.RUnlock()
 	if w == nil {
 		return ids.EmptySet()
 	}

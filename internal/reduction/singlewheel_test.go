@@ -62,7 +62,7 @@ func TestSingleWheelQuiescent(t *testing.T) {
 	if at80 < 0 {
 		t.Fatal("sampling tick missed")
 	}
-	if final := rep.Messages.Sent[wire]; final != at80 {
+	if final := rep.Messages.Sent[wire.String()]; final != at80 {
 		t.Errorf("c_move traffic still flowing: %d → %d", at80, final)
 	}
 }

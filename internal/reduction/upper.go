@@ -2,7 +2,6 @@ package reduction
 
 import (
 	"fmt"
-	"sync"
 
 	"fdgrid/internal/fd"
 	"fdgrid/internal/ids"
@@ -11,11 +10,11 @@ import (
 	"fdgrid/internal/sim"
 )
 
-// Message tags of the upper wheel.
-const (
-	tagInquiry  = "wheel.inquiry"
-	tagResponse = "wheel.response"
-	tagLMove    = "wheel.lmove"
+// Message tags of the upper wheel, interned once at package load.
+var (
+	tagInquiry  = sim.Intern("wheel.inquiry")
+	tagResponse = sim.Intern("wheel.response")
+	tagLMove    = sim.Intern("wheel.lmove")
 )
 
 type inquiryMsg struct {
@@ -51,13 +50,12 @@ type UpperWheel struct {
 	ring        *ids.LYRing
 	buffered    map[ids.LYPos]int
 	seq         int
-	responses   map[ids.ProcID]ids.ProcID
+	responses   []ids.ProcID // index by responder; ids.None = none this round
 	waiting     bool
 	lastInquiry sim.Time
 	gap         sim.Time
 	lmoves      int
 
-	mu  sync.Mutex
 	pos ids.LYPos
 }
 
@@ -81,9 +79,12 @@ func NewUpperWheel(env *sim.Env, rb *rbcast.Layer, q fd.Querier, lower *LowerWhe
 		lower:       lower,
 		ring:        ids.NewLYRing(n, ySize, z),
 		buffered:    make(map[ids.LYPos]int),
-		responses:   make(map[ids.ProcID]ids.ProcID, n),
+		responses:   make([]ids.ProcID, n+1),
 		gap:         sim.Time(4 * n),
 		lastInquiry: -1 << 30,
+	}
+	for i := range w.responses {
+		w.responses[i] = ids.None
 	}
 	w.pos = w.ring.Current()
 	return w
@@ -94,26 +95,20 @@ func (w *UpperWheel) Z() int { return w.ring.Current().L.Size() }
 
 // Pos returns the current ring position (diagnostics, tests).
 func (w *UpperWheel) Pos() ids.LYPos {
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	return w.pos
 }
 
 // LMoves returns how many l_move messages this process has consumed.
 func (w *UpperWheel) LMoves() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	return w.lmoves
 }
 
 // Trusted computes the Ω_z output (task T4): if query(Y_i) says the whole
 // candidate region crashed, the smallest provably-live process outside
-// Y_i; otherwise the current leader-set candidate L_i. Safe for
-// concurrent use.
+// Y_i; otherwise the current leader-set candidate L_i. Run-token
+// owned, like all emulated outputs.
 func (w *UpperWheel) Trusted() ids.Set {
-	w.mu.Lock()
 	pos := w.pos
-	w.mu.Unlock()
 	me := w.env.ID()
 	if !w.q.Query(me, pos.Y) {
 		return pos.L
@@ -179,15 +174,13 @@ func (w *UpperWheel) Handle(m sim.Message) (sim.Message, bool) {
 // Poll implements node.Layer: consume matching l_moves (task T2), then
 // advance task T1's inquire/wait state machine.
 func (w *UpperWheel) Poll() {
-	w.mu.Lock()
-	for w.buffered[w.pos] > 0 {
+	for len(w.buffered) > 0 && w.buffered[w.pos] > 0 {
 		w.buffered[w.pos]--
 		w.ring.Next()
 		w.pos = w.ring.Current()
 		w.lmoves++
 	}
 	pos := w.pos
-	w.mu.Unlock()
 
 	me := w.env.ID()
 	if !w.waiting {
@@ -196,7 +189,9 @@ func (w *UpperWheel) Poll() {
 			return
 		}
 		w.seq++
-		w.responses = make(map[ids.ProcID]ids.ProcID, w.env.N())
+		for i := range w.responses {
+			w.responses[i] = ids.None
+		}
 		w.waiting = true
 		w.lastInquiry = now
 		w.env.Broadcast(tagInquiry, inquiryMsg{Seq: w.seq})
@@ -207,8 +202,9 @@ func (w *UpperWheel) Poll() {
 	// Y_i, or on query(Y_i) = true. Y_i may have changed during the wait.
 	var recFrom ids.Set
 	gotResponder := false
-	for from, repr := range w.responses {
-		if pos.Y.Contains(from) {
+	for from := 1; from < len(w.responses); from++ {
+		repr := w.responses[from]
+		if repr != ids.None && pos.Y.Contains(ids.ProcID(from)) {
 			gotResponder = true
 			recFrom = recFrom.Add(repr)
 		}

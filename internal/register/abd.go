@@ -8,14 +8,15 @@ import (
 	"fdgrid/internal/sim"
 )
 
-// Message tags of the ABD register emulation.
-const (
-	tagABDWrite     = "abd.w"
-	tagABDWriteAck  = "abd.wack"
-	tagABDRead      = "abd.r"
-	tagABDReadVal   = "abd.rval"
-	tagABDWriteBack = "abd.wb"
-	tagABDWBAck     = "abd.wback"
+// Message tags of the ABD register emulation, interned once at package
+// load.
+var (
+	tagABDWrite     = sim.Intern("abd.w")
+	tagABDWriteAck  = sim.Intern("abd.wack")
+	tagABDRead      = sim.Intern("abd.r")
+	tagABDReadVal   = sim.Intern("abd.rval")
+	tagABDWriteBack = sim.Intern("abd.wb")
+	tagABDWBAck     = sim.Intern("abd.wback")
 )
 
 type abdWrite struct {

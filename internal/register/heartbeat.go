@@ -2,7 +2,6 @@ package register
 
 import (
 	"fmt"
-	"sync"
 
 	"fdgrid/internal/ids"
 	"fdgrid/internal/node"
@@ -10,7 +9,7 @@ import (
 )
 
 // tagHBUpdate carries heartbeat register updates.
-const tagHBUpdate = "reg.hb"
+var tagHBUpdate = sim.Intern("reg.hb")
 
 type hbUpdate struct {
 	Name string
@@ -31,7 +30,6 @@ type Heartbeat struct {
 	env *sim.Env
 	seq int64
 
-	mu    sync.RWMutex
 	cache map[key]hbEntry
 }
 
@@ -56,16 +54,12 @@ func NewHeartbeat(env *sim.Env) *Heartbeat {
 func (h *Heartbeat) Write(name string, v any) {
 	h.seq++
 	k := key{owner: h.env.ID(), name: name}
-	h.mu.Lock()
 	h.cache[k] = hbEntry{seq: h.seq, val: v}
-	h.mu.Unlock()
 	h.env.Broadcast(tagHBUpdate, hbUpdate{Name: name, Seq: h.seq, Val: v})
 }
 
 // Read implements Store.
 func (h *Heartbeat) Read(owner ids.ProcID, name string) any {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
 	return h.cache[key{owner: owner, name: name}].val
 }
 
@@ -79,11 +73,9 @@ func (h *Heartbeat) Handle(m sim.Message) (sim.Message, bool) {
 		panic(fmt.Sprintf("register: heartbeat payload %T", m.Payload))
 	}
 	k := key{owner: m.From, name: up.Name}
-	h.mu.Lock()
 	if h.cache[k].seq < up.Seq {
 		h.cache[k] = hbEntry{seq: up.Seq, val: up.Val}
 	}
-	h.mu.Unlock()
 	return sim.Message{}, false
 }
 

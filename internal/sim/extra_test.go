@@ -17,7 +17,7 @@ func TestBandwidthDeliversFaster(t *testing.T) {
 		done.Store(-1)
 		s.Spawn(1, func(e *Env) {
 			for i := 0; i < burst; i++ {
-				e.Send(2, "burst", i)
+				e.Send(2, Intern("burst"), i)
 			}
 			for {
 				e.Step()
@@ -56,14 +56,14 @@ func TestMultipleHoldsMaxWins(t *testing.T) {
 	var deliveredAt atomic.Int64
 	deliveredAt.Store(-1)
 	s.Spawn(1, func(e *Env) {
-		e.Send(2, "held", nil)
+		e.Send(2, Intern("held"), nil)
 		for {
 			e.Step()
 		}
 	})
 	s.Spawn(2, func(e *Env) {
 		for {
-			if m, ok := e.Step(); ok && m.Tag == "held" {
+			if m, ok := e.Step(); ok && m.Tag == Intern("held") {
 				deliveredAt.Store(int64(m.DeliveredAt))
 			}
 		}
@@ -95,7 +95,7 @@ func TestProcessPanicSurfacesFromRun(t *testing.T) {
 		panic("protocol bug")
 	})
 	s.Spawn(2, func(e *Env) {
-		e.Send(1, "poke", nil)
+		e.Send(1, Intern("poke"), nil)
 		for {
 			e.Step()
 		}
@@ -127,7 +127,7 @@ func TestInFlightCount(t *testing.T) {
 	})
 	var sent atomic.Bool
 	s.Spawn(1, func(e *Env) {
-		e.Send(2, "held", nil)
+		e.Send(2, Intern("held"), nil)
 		sent.Store(true)
 		for {
 			e.Step()
@@ -161,4 +161,29 @@ func TestEnvCrashedVisibility(t *testing.T) {
 	if !sawCrashed.Load() {
 		t.Error("Env.Crashed never became true")
 	}
+}
+
+// TestSamplerPanicSurfaces: a panic in an OnTick sampler — which runs
+// on whatever goroutine holds the run token, possibly a process that
+// was parking — is re-raised from Run after a clean teardown rather
+// than deadlocking it (the unwinding process must clear its park bit).
+func TestSamplerPanicSurfaces(t *testing.T) {
+	s := MustNew(Config{N: 2, T: 0, Seed: 1, MaxSteps: 1_000})
+	s.OnTick(func(now Time) {
+		if now == 5 {
+			panic("sampler bug")
+		}
+	})
+	s.SpawnAll(func(e *Env) {
+		for {
+			e.Step()
+		}
+	})
+	defer func() {
+		if r := recover(); r != "sampler bug" {
+			t.Fatalf("recovered %v, want the sampler panic", r)
+		}
+	}()
+	s.Run(nil)
+	t.Fatal("Run returned without panicking")
 }

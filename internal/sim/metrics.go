@@ -1,75 +1,81 @@
 package sim
 
-import (
-	"sort"
-	"sync"
-	"sync/atomic"
-)
+import "sort"
 
-// Metrics counts message traffic per tag. All methods are safe for
-// concurrent use. Counters are atomic; the map of tags is read-mostly
-// (the tag set of a protocol is small and fixed), so the hot bump path
-// takes only a read lock.
+// Metrics counts message traffic per tag. Counters are plain int64
+// slices indexed by Tag and owned by the run in lockstep: they are
+// bumped from process goroutines (sends) and the scheduler goroutine
+// (deliveries, drops), and the run-token handoff serializes all of
+// those, so the bump path is a bare array index — no locks, no atomics,
+// no string hashing.
+//
+// Ownership contract (this replaces the old "all methods are safe for
+// concurrent use" claim): call the live readers — Sent, TotalSent,
+// Snapshot — from code holding the run token, i.e. from process mains,
+// stop predicates, OnTick/OnAdvance samplers, or any time after Run has
+// returned. Do not call them from an unrelated goroutine while the run
+// is in progress. Run's return joins every process goroutine, so
+// post-run reads from any goroutine are race-clean.
 type Metrics struct {
-	mu        sync.RWMutex
-	counters  map[string]*tagCounts
-	totalSent atomic.Int64
-}
-
-type tagCounts struct {
-	sent, delivered, dropped atomic.Int64
+	sent      []int64 // indexed by Tag; grown on demand
+	delivered []int64
+	dropped   []int64
+	totalSent int64
 }
 
 func newMetrics() *Metrics {
-	return &Metrics{counters: make(map[string]*tagCounts)}
-}
-
-func (m *Metrics) tag(tag string) *tagCounts {
-	m.mu.RLock()
-	c := m.counters[tag]
-	m.mu.RUnlock()
-	if c != nil {
-		return c
+	// Size to the tags interned so far: protocol packages intern theirs
+	// in var declarations, so by the time a System exists the slices
+	// almost always have their final size and the grow path never runs.
+	n := internedTags() + 8
+	return &Metrics{
+		sent:      make([]int64, n),
+		delivered: make([]int64, n),
+		dropped:   make([]int64, n),
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if c = m.counters[tag]; c == nil {
-		c = &tagCounts{}
-		m.counters[tag] = c
+}
+
+// grown returns s with at least tag+1 entries.
+func grown(s []int64, tag Tag) []int64 {
+	if int(tag) < len(s) {
+		return s
 	}
-	return c
+	out := make([]int64, int(tag)+8)
+	copy(out, s)
+	return out
 }
 
-func (m *Metrics) sent(tag string) {
-	m.tag(tag).sent.Add(1)
-	m.totalSent.Add(1)
+func (m *Metrics) countSent(tag Tag) {
+	m.sent = grown(m.sent, tag)
+	m.sent[tag]++
+	m.totalSent++
 }
 
-func (m *Metrics) delivered(tag string) {
-	m.tag(tag).delivered.Add(1)
+func (m *Metrics) countDelivered(tag Tag) {
+	m.delivered = grown(m.delivered, tag)
+	m.delivered[tag]++
 }
 
-func (m *Metrics) dropped(tag string) {
-	m.tag(tag).dropped.Add(1)
+func (m *Metrics) countDropped(tag Tag) {
+	m.dropped = grown(m.dropped, tag)
+	m.dropped[tag]++
 }
 
 // Sent returns how many messages with the given tag have been sent.
-func (m *Metrics) Sent(tag string) int64 {
-	m.mu.RLock()
-	c := m.counters[tag]
-	m.mu.RUnlock()
-	if c == nil {
+func (m *Metrics) Sent(tag Tag) int64 {
+	if int(tag) >= len(m.sent) {
 		return 0
 	}
-	return c.sent.Load()
+	return m.sent[tag]
 }
 
 // TotalSent returns the total number of messages sent so far.
-func (m *Metrics) TotalSent() int64 {
-	return m.totalSent.Load()
-}
+func (m *Metrics) TotalSent() int64 { return m.totalSent }
 
-// MetricsSnapshot is an immutable copy of the counters.
+// MetricsSnapshot is an immutable copy of the counters, keyed by tag
+// name — the external format consumed by sweep reports and tests. It is
+// unchanged by the interning of tags on the wire: reports built from it
+// are byte-identical to those of the string-tagged scheduler.
 type MetricsSnapshot struct {
 	Sent      map[string]int64
 	Delivered map[string]int64
@@ -78,25 +84,28 @@ type MetricsSnapshot struct {
 }
 
 // Snapshot copies the current counters. Tags with a zero count are
-// omitted from the respective map, as before.
+// omitted from the respective map, as before. Same ownership contract
+// as the other readers: call it with the run token or after Run.
 func (m *Metrics) Snapshot() MetricsSnapshot {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	snap := MetricsSnapshot{
-		Sent:      make(map[string]int64, len(m.counters)),
-		Delivered: make(map[string]int64, len(m.counters)),
-		Dropped:   make(map[string]int64, len(m.counters)),
-		TotalSent: m.totalSent.Load(),
+		Sent:      make(map[string]int64),
+		Delivered: make(map[string]int64),
+		Dropped:   make(map[string]int64),
+		TotalSent: m.totalSent,
 	}
-	for tag, c := range m.counters {
-		if v := c.sent.Load(); v != 0 {
-			snap.Sent[tag] = v
+	for tag, v := range m.sent {
+		if v != 0 {
+			snap.Sent[Tag(tag).String()] = v
 		}
-		if v := c.delivered.Load(); v != 0 {
-			snap.Delivered[tag] = v
+	}
+	for tag, v := range m.delivered {
+		if v != 0 {
+			snap.Delivered[Tag(tag).String()] = v
 		}
-		if v := c.dropped.Load(); v != 0 {
-			snap.Dropped[tag] = v
+	}
+	for tag, v := range m.dropped {
+		if v != 0 {
+			snap.Dropped[Tag(tag).String()] = v
 		}
 	}
 	return snap

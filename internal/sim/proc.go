@@ -2,8 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"fdgrid/internal/ids"
 )
@@ -12,7 +10,7 @@ import (
 // they are shared between sender and receiver without copying.
 type Message struct {
 	From, To    ids.ProcID
-	Tag         string
+	Tag         Tag
 	Payload     any
 	SentAt      Time
 	DeliveredAt Time
@@ -28,56 +26,33 @@ type envelope struct {
 type procKilled struct{}
 
 // Proc is the runtime state of one simulated process.
+//
+// Ownership: execution is strictly sequential — at any instant exactly
+// one goroutine holds the run token (the scheduler, or one process
+// goroutine). Every field below is accessed only by the token holder:
+// the process while it runs, the scheduler while the process is parked
+// or exited. The resume/yield channel handoff orders all of it, so none
+// of these fields need locks or atomics (the race detector checks this
+// claim on every -race run).
 type Proc struct {
 	id   ids.ProcID
 	sys  *System
 	main func(*Env)
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	inbox    []Message
-	nextRead int
-	dead     bool
-	exited   bool
-	parked   bool // blocked in StepUntil, waiting on the scheduler
+	// resume carries the run token scheduler → process: receiving on it
+	// is the only way this goroutine starts running, and sending on
+	// sys.yield is the only way it stops. One wake is exactly two
+	// goroutine switches.
+	resume chan struct{}
 
-	// deadFlag mirrors dead for lock-free reads on the hot Send path.
-	deadFlag atomic.Bool
+	inbox    []Message // appended by the scheduler (delivery), drained by the process
+	nextRead int
+	dead     bool // set by the scheduler; the process unwinds at its next Env call
+	exited   bool // set by the process goroutine as it returns
 }
 
 func newProc(id ids.ProcID, sys *System) *Proc {
-	p := &Proc{id: id, sys: sys}
-	p.cond = sync.NewCond(&p.mu)
-	return p
-}
-
-// enqueue appends a delivered message to the inbox. The scheduler calls
-// it during the delivery phase, while the process is parked; the process
-// is woken afterwards by the wake phase, so no broadcast happens here.
-func (p *Proc) enqueue(m Message) {
-	p.mu.Lock()
-	p.inbox = append(p.inbox, m)
-	p.mu.Unlock()
-}
-
-// kill marks the process dead and wakes it so a parked goroutine unwinds.
-// Used by Run's teardown; in-run crashes go through System.killAt, which
-// also maintains the quiescence accounting.
-func (p *Proc) kill() {
-	p.mu.Lock()
-	p.dead = true
-	p.deadFlag.Store(true)
-	p.parked = false
-	p.mu.Unlock()
-	p.cond.Broadcast()
-}
-
-// markDead flags an initially-crashed process that never gets a goroutine.
-func (p *Proc) markDead() {
-	p.mu.Lock()
-	p.dead = true
-	p.deadFlag.Store(true)
-	p.mu.Unlock()
+	return &Proc{id: id, sys: sys, resume: make(chan struct{})}
 }
 
 // Env is the interface protocol code uses to interact with the system.
@@ -104,15 +79,18 @@ func (e *Env) All() ids.Set { return ids.FullSet(e.N()) }
 func (e *Env) Now() Time { return e.p.sys.Now() }
 
 // checkAlive unwinds the goroutine if the process crashed or the run
-// stopped.
+// stopped (protocol code that swallowed a procKilled panic re-unwinds
+// at its next Env call).
 func (e *Env) checkAlive() {
-	if e.p.deadFlag.Load() {
+	if e.p.dead {
 		panic(procKilled{})
 	}
 }
 
 // Send transmits a message to process "to" over the reliable channel.
-func (e *Env) Send(to ids.ProcID, tag string, payload any) {
+// SentAt is stamped by the network at acceptance time (System.send owns
+// the stamp); sends from an already-crashed process are refused there.
+func (e *Env) Send(to ids.ProcID, tag Tag, payload any) {
 	e.checkAlive()
 	if to < 1 || int(to) > e.N() {
 		panic(fmt.Sprintf("sim: Send to unknown process %d", to))
@@ -122,7 +100,6 @@ func (e *Env) Send(to ids.ProcID, tag string, payload any) {
 		To:      to,
 		Tag:     tag,
 		Payload: payload,
-		SentAt:  e.Now(),
 	})
 }
 
@@ -131,7 +108,7 @@ func (e *Env) Send(to ids.ProcID, tag string, payload any) {
 // crashes mid-broadcast in the model may reach only a subset; here the
 // whole call either happens before the crash tick or unwinds, which is
 // one of the legal behaviours.
-func (e *Env) Broadcast(tag string, payload any) {
+func (e *Env) Broadcast(tag Tag, payload any) {
 	for q := 1; q <= e.N(); q++ {
 		e.Send(ids.ProcID(q), tag, payload)
 	}
@@ -167,17 +144,14 @@ func (e *Env) StepUntil(wake Time) (Message, bool) {
 	if now := s.Now(); wake <= now {
 		wake = now + 1
 	}
-	p.mu.Lock()
 	for {
 		if p.dead {
-			p.mu.Unlock()
 			panic(procKilled{})
 		}
 		if p.nextRead < len(p.inbox) {
 			m := p.inbox[p.nextRead]
 			p.inbox[p.nextRead] = Message{}
 			p.nextRead++
-			p.mu.Unlock()
 			return m, true
 		}
 		if p.nextRead > 0 {
@@ -187,23 +161,24 @@ func (e *Env) StepUntil(wake Time) (Message, bool) {
 			p.nextRead = 0
 		}
 		if s.Now() >= wake {
-			p.mu.Unlock()
 			return Message{}, false
 		}
-		// Park: declare the wake condition and hand control back to the
-		// scheduler. The scheduler clears parked before broadcasting.
-		p.parked = true
-		s.qmu.Lock()
+		// Park: publish the wake condition, then pass the run token on —
+		// directly to the next due process, or through the tick phases
+		// when nothing else is due. If this process turns out to be the
+		// next one due, dispatch says so and the loop continues without
+		// any goroutine switch at all. The dispatcher clears the parked
+		// bit before resuming a process.
 		s.parkedSet |= 1 << uint(p.id-1)
 		s.deadlines[p.id] = wake
-		s.active--
-		if s.active == 0 {
-			s.qcond.Broadcast()
+		if s.running {
+			if s.dispatch(p) {
+				continue
+			}
+		} else {
+			s.yield <- struct{}{} // launch phase: token back to Run
 		}
-		s.qmu.Unlock()
-		for p.parked && !p.dead {
-			p.cond.Wait()
-		}
+		<-p.resume
 	}
 }
 
@@ -220,11 +195,11 @@ func (e *Env) WaitUntil(pred func() bool, onMsg func(Message)) {
 	}
 }
 
-// Crashed reports whether this process has been crashed or stopped; it is
-// intended for tests. Protocol code never observes true: its next Env
+// Crashed reports whether this process has been crashed or stopped.
+// Like all run state it is owned by the run token: call it from
+// scheduler-side code (OnTick/OnAdvance samplers, stop predicates) or
+// after Run returns — protocol code never observes true, its next Env
 // call unwinds instead.
 func (e *Env) Crashed() bool {
-	e.p.mu.Lock()
-	defer e.p.mu.Unlock()
 	return e.p.dead
 }

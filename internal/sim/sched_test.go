@@ -35,13 +35,13 @@ func TestStepUntilReturnsEarlyOnMessage(t *testing.T) {
 	got.Store(-1)
 	s.Spawn(1, func(e *Env) {
 		m, ok := e.StepUntil(40_000)
-		if ok && m.Tag == "poke" {
+		if ok && m.Tag == Intern("poke") {
 			got.Store(int64(e.Now()))
 		}
 	})
 	s.Spawn(2, func(e *Env) {
 		e.StepUntil(100) // let some time pass first
-		e.Send(1, "poke", nil)
+		e.Send(1, Intern("poke"), nil)
 		for {
 			e.StepUntil(Never)
 		}
@@ -62,14 +62,14 @@ func TestClockJumpRespectsHolds(t *testing.T) {
 	var deliveredAt atomic.Int64
 	deliveredAt.Store(-1)
 	s.Spawn(1, func(e *Env) {
-		e.Send(2, "held", nil)
+		e.Send(2, Intern("held"), nil)
 		for {
 			e.StepUntil(Never)
 		}
 	})
 	s.Spawn(2, func(e *Env) {
 		for {
-			if m, ok := e.StepUntil(Never); ok && m.Tag == "held" {
+			if m, ok := e.StepUntil(Never); ok && m.Tag == Intern("held") {
 				deliveredAt.Store(int64(m.DeliveredAt))
 			}
 		}
@@ -152,7 +152,7 @@ func TestDeterministicDeliveryOrder(t *testing.T) {
 		done := make(chan struct{})
 		_ = done
 		s.SpawnAll(func(e *Env) {
-			e.Broadcast("m", int(e.ID()))
+			e.Broadcast(Intern("m"), int(e.ID()))
 			for {
 				m, ok := e.Step()
 				if ok && e.ID() == 1 {

@@ -14,6 +14,32 @@
 // message delays and arbitrary crash patterns — exactly the adversary the
 // asynchronous model quantifies over — are thus sampled reproducibly.
 //
+// # Concurrency contract
+//
+// Exactly one goroutine runs at any instant: whoever holds the run
+// token. The token moves over unbuffered channels, and it moves
+// directly — a parking process dispatches the next due process itself
+// (one goroutine switch per wake, zero when it dispatches itself), and
+// when the due set is empty the parking process runs the next tick's
+// scheduler phases (crashes, deliveries, samplers, clock advance) on
+// its own stack. There is no scheduler goroutine in the steady-state
+// loop: Run's goroutine launches the processes, hands the token into
+// the system and blocks until the run ends. No mutexes, no
+// condition-variable broadcasts, no lock convoys, no middleman hop.
+// All simulation state (network queues, inboxes, park bits, deadlines,
+// metrics counters) is owned by the run token and accessed without
+// locks; the channel handoffs provide the happens-before edges, and
+// -race verifies the claim.
+//
+// The thin surface that IS safe to touch from other goroutines while a
+// run is in progress: Now (atomic), WakeAt (locked), InFlight (atomic).
+// Everything else — including Metrics reads and Env.Crashed — must be
+// called with the run token (process mains, stop predicates, OnTick /
+// OnAdvance samplers) or after Run has returned, which joins every
+// process goroutine and so publishes all state. Stop predicates and
+// samplers execute on whatever goroutine holds the token at that tick;
+// they must not assume a fixed goroutine identity.
+//
 // Undeliverable stretches of virtual time are skipped: when no message is
 // eligible, no process wake is due and no crash or hold release falls in
 // between, the clock jumps directly to the next relevant tick. Dense
@@ -171,68 +197,90 @@ func (fp *Pattern) Faulty() ids.Set {
 
 // System is one simulated asynchronous system instance. Create it with
 // New, register process mains with Spawn, then call Run exactly once.
+//
+// Field ownership follows the package's concurrency contract: unless a
+// field is explicitly marked atomic or locked below, it is run-token
+// state — accessed only by the scheduler goroutine or by the single
+// running process, which the yield/resume handoff serializes.
 type System struct {
 	cfg     Config
 	pattern *Pattern
 	rng     *rand.Rand
-	now     atomic.Int64
-	procs   []*Proc // index 1..N
+	now     atomic.Int64 // atomic: cross-thread readers may sample the clock
+	procs   []*Proc      // index 1..N
 	metrics *Metrics
+
+	// yield returns the run token to Run's goroutine: during the launch
+	// phase after each process's first park, and once at the end of the
+	// run. Run is its only receiver. reapAck is the separate return path
+	// of the kill handshake: an unwinding process sends one token, the
+	// killAt or teardown caller that resumed it receives it (a shared
+	// channel would let the two rendezvous cross).
+	yield   chan struct{}
+	reapAck chan struct{}
+
+	// Token-protocol state. running is false during launch (parks yield
+	// to Run) and true while the token circulates; reaping marks a kill
+	// handshake in flight (the unwinding process acks on reapAck instead
+	// of dispatching). due is the set of processes selected to wake this
+	// tick and not yet dispatched; stoppedEarly / ended record how the
+	// run finished.
+	running      bool
+	reaping      bool
+	due          uint64
+	stop         func() bool
+	stoppedEarly bool
+	ended        bool
 
 	// Network state: messages accepted but not yet routed (arrivals),
 	// deliverable messages (eligible) and messages bucketed by the tick
 	// their scripted hold releases them (held, keys sorted in heldTimes).
-	mu        sync.Mutex
-	arrivals  []envelope
-	eligible  []envelope
-	held      map[Time][]envelope
-	heldTimes []Time
-	batch     []Message // delivery scratch, reused across ticks
+	// bucketPool recycles drained hold buckets across a run.
+	arrivals   []envelope
+	eligible   []envelope
+	held       map[Time][]envelope
+	heldTimes  []Time
+	bucketPool [][]envelope
 
-	// Quiescence accounting: active counts process goroutines currently
-	// running (launched or woken, not yet parked or exited). The
-	// scheduler blocks on qcond until active returns to zero. parkedSet
-	// and deadlines mirror each parked process's wake condition
-	// (maintained by the parking process under qmu), and inboxDue marks
-	// parked processes the delivery phase enqueued messages for — so the
-	// per-tick scans touch one lock instead of every process's.
-	qmu       sync.Mutex
-	qcond     *sync.Cond
-	active    int
+	// holdUntil is the per-(from,to) release matrix precomputed from
+	// Config.Holds at New time, flattened to (N+1)*(N+1); nil when the
+	// run scripts no holds, which is the send fast path.
+	holdUntil []Time
+
+	// Wake accounting: parkedSet marks parked processes (bit id-1), set
+	// by the parking process and cleared by the scheduler on wake;
+	// deadlines mirrors each parked process's declared wake time; and
+	// inboxDue marks parked processes the delivery phase enqueued
+	// messages for.
 	parkedSet uint64
 	inboxDue  uint64
 	deadlines []Time // index 1..N; valid while the proc's parkedSet bit is set
 
-	// External wake hints (WakeAt), kept sorted ascending.
+	// inflight counts accepted-but-undelivered messages. Atomic: it is
+	// the one network figure exposed to other goroutines (InFlight).
+	inflight atomic.Int64
+
+	// External wake hints (WakeAt), kept sorted ascending. Locked: the
+	// one mutable input other goroutines may feed a running scheduler.
 	hintMu sync.Mutex
 	hints  []Time
 
 	crashTimes []Time // sorted crash ticks, for clock jumps
+	crashIdx   int    // first entry of crashTimes not yet applied
 
-	stopFlag  atomic.Bool
+	// hintLen mirrors len(hints) so the per-tick nextTime can skip the
+	// hint lock entirely when no hints exist (the common case).
+	hintLen atomic.Int32
+
 	wg        sync.WaitGroup
 	ran       bool
 	onTick    []func(Time)
 	onAdvance []func(Time)
 
-	panicMu  sync.Mutex
+	// First protocol panic, recorded by the unwinding process goroutine
+	// (which holds the run token) and re-raised from Run.
 	panicVal any
-	panicked atomic.Bool
-}
-
-// recordPanic stores the first protocol panic; Run re-raises it on the
-// caller's goroutine once every process goroutine has been joined.
-func (s *System) recordPanic(v any) {
-	s.panicMu.Lock()
-	if !s.panicked.Load() {
-		s.panicVal = v
-		s.panicked.Store(true)
-	}
-	s.panicMu.Unlock()
-}
-
-func (s *System) hasPanicked() bool {
-	return s.panicked.Load()
+	panicked bool
 }
 
 // OnTick registers fn to run on the scheduler goroutine once per tick,
@@ -263,7 +311,8 @@ func (s *System) OnAdvance(fn func(Time)) {
 // else is due then. Stop predicates whose truth flips at a known future
 // time (e.g. "stable for d ticks") register it here so clock jumps do not
 // overshoot the earliest stopping point. Safe to call from stop
-// predicates and OnTick/OnAdvance callbacks; stale times are ignored.
+// predicates and OnTick/OnAdvance callbacks — and, alone among the
+// scheduler's inputs, from other goroutines; stale times are ignored.
 func (s *System) WakeAt(t Time) {
 	s.hintMu.Lock()
 	defer s.hintMu.Unlock()
@@ -274,6 +323,7 @@ func (s *System) WakeAt(t Time) {
 	s.hints = append(s.hints, 0)
 	copy(s.hints[i+1:], s.hints[i:])
 	s.hints[i] = t
+	s.hintLen.Store(int32(len(s.hints)))
 }
 
 // New builds a system from cfg. It returns an error if cfg is invalid.
@@ -287,8 +337,9 @@ func New(cfg Config) (*System, error) {
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		metrics: newMetrics(),
 		held:    make(map[Time][]envelope),
+		yield:   make(chan struct{}),
+		reapAck: make(chan struct{}),
 	}
-	s.qcond = sync.NewCond(&s.qmu)
 	s.deadlines = make([]Time, cfg.N+1)
 	for _, at := range cfg.Crashes {
 		s.crashTimes = append(s.crashTimes, at)
@@ -297,6 +348,22 @@ func New(cfg Config) (*System, error) {
 	s.procs = make([]*Proc, cfg.N+1)
 	for i := 1; i <= cfg.N; i++ {
 		s.procs[i] = newProc(ids.ProcID(i), s)
+	}
+	if len(cfg.Holds) > 0 {
+		// Precompute the release matrix so the send path is one array
+		// index instead of an O(|Holds|) set scan per message.
+		s.holdUntil = make([]Time, (cfg.N+1)*(cfg.N+1))
+		for from := 1; from <= cfg.N; from++ {
+			for to := 1; to <= cfg.N; to++ {
+				var nb Time
+				for _, h := range cfg.Holds {
+					if h.From.Contains(ids.ProcID(from)) && h.To.Contains(ids.ProcID(to)) && h.Until > nb {
+						nb = h.Until
+					}
+				}
+				s.holdUntil[from*(cfg.N+1)+to] = nb
+			}
+		}
 	}
 	return s, nil
 }
@@ -322,7 +389,8 @@ func (s *System) Now() Time { return Time(s.now.Load()) }
 // GST returns the configured global stabilization time.
 func (s *System) GST() Time { return s.cfg.GST }
 
-// Metrics returns the live metrics collector.
+// Metrics returns the live metrics collector (see Metrics for the
+// ownership contract on its readers).
 func (s *System) Metrics() *Metrics { return s.metrics }
 
 // Env returns the environment handle of process p (for oracle adapters
@@ -363,79 +431,112 @@ type Report struct {
 	Messages MetricsSnapshot
 }
 
-// waitQuiescent blocks the scheduler until every process goroutine has
-// parked or exited.
-func (s *System) waitQuiescent() {
-	s.qmu.Lock()
-	for s.active > 0 {
-		s.qcond.Wait()
-	}
-	s.qmu.Unlock()
-}
-
-// launch starts process p's goroutine and waits until it parks or exits.
+// launch starts process p's goroutine and blocks until it hands the run
+// token back (first park, or exit). Only used before running is set, so
+// the park and exit paths yield straight to Run's goroutine.
 func (s *System) launch(p *Proc) {
 	s.wg.Add(1)
-	s.qmu.Lock()
-	s.active++
-	s.qmu.Unlock()
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
-				if _, ok := r.(procKilled); !ok {
+				if _, ok := r.(procKilled); !ok && !s.panicked {
 					// A protocol bug: remember it and re-raise from Run.
-					s.recordPanic(r)
+					s.panicked = true
+					s.panicVal = r
 				}
 			}
-			p.mu.Lock()
 			p.exited = true
-			p.parked = false
-			p.mu.Unlock()
-			s.qmu.Lock()
-			s.active--
-			if s.active <= 0 {
-				s.qcond.Broadcast()
-			}
-			s.qmu.Unlock()
+			// A panic can unwind out of StepUntil after the process
+			// published its park bit (e.g. a stop predicate or sampler
+			// panicking inside the tick phases this process was running):
+			// clear it, or teardown would try to resume a goroutine that
+			// no longer exists.
+			s.parkedSet &^= 1 << uint(p.id-1)
+			s.releaseToken()
 			s.wg.Done()
 		}()
 		p.main(&Env{p: p})
 	}()
-	s.waitQuiescent()
+	<-s.yield
 }
 
-// wake resumes a parked process and waits until it parks again or exits.
-func (s *System) wake(p *Proc) {
-	bit := uint64(1) << uint(p.id-1)
-	s.qmu.Lock()
-	s.active++
-	s.parkedSet &^= bit
-	s.inboxDue &^= bit
-	s.qmu.Unlock()
-	p.mu.Lock()
-	p.parked = false
-	p.cond.Broadcast()
-	p.mu.Unlock()
-	s.waitQuiescent()
+// releaseToken passes the run token onward from a process goroutine that
+// is done running — it parked inside dispatch instead; this is the exit
+// path (main returned, crash unwind, protocol panic).
+func (s *System) releaseToken() {
+	switch {
+	case s.reaping:
+		// A killAt or teardown handshake: ack the caller that resumed us.
+		s.reapAck <- struct{}{}
+	case !s.running:
+		// Launch phase: the token goes straight back to Run.
+		s.yield <- struct{}{}
+	default:
+		s.dispatch(nil)
+	}
+}
+
+// dispatch passes the run token to the next due process — running the
+// tick phases right here, on the caller's stack, whenever the due set
+// is empty. self is the calling (parking) process, nil on the exit
+// path. It returns true when the caller itself is the next due process:
+// the caller keeps the token and keeps running, zero switches. When it
+// returns false the token is gone and the caller must block on its
+// resume channel (or exit).
+func (s *System) dispatch(self *Proc) bool {
+	for {
+		if s.panicked || s.ended {
+			s.ended = true
+			s.yield <- struct{}{} // the run is over: token home to Run
+			return false
+		}
+		if s.due != 0 {
+			id := bits.TrailingZeros64(s.due) + 1
+			bit := uint64(1) << uint(id-1)
+			s.due &^= bit
+			s.parkedSet &^= bit
+			s.inboxDue &^= bit
+			p := s.procs[id]
+			if p == self {
+				return true
+			}
+			p.resume <- struct{}{}
+			return false
+		}
+		if s.tick(self) {
+			s.ended = true
+		}
+	}
 }
 
 // killAt applies an in-run crash: the process is marked dead and, if it
-// was parked, woken so its goroutine unwinds before the tick proceeds.
-func (s *System) killAt(p *Proc) {
-	p.mu.Lock()
-	if p.dead || p.exited {
-		p.dead = true
-		p.deadFlag.Store(true)
-		p.mu.Unlock()
+// was parked, resumed so its goroutine unwinds — and acks on reapAck —
+// before the tick proceeds. A process crashing at the very tick it is
+// running the phases for (p == self) is only marked: it unwinds at its
+// next Env call, before taking any protocol step.
+func (s *System) killAt(p, self *Proc) {
+	p.dead = true
+	if p == self {
 		return
 	}
-	wasParked := p.parked
-	p.dead = true
-	p.deadFlag.Store(true)
-	p.mu.Unlock()
-	if wasParked {
-		s.wake(p)
+	if s.parkedSet&(1<<uint(p.id-1)) != 0 {
+		s.reap(p)
 	}
+}
+
+// reap unwinds one parked process synchronously: resume it, let its
+// goroutine run the crash unwind, receive the reapAck token back.
+func (s *System) reap(p *Proc) {
+	if p.exited {
+		return // its goroutine is gone; nothing to unwind
+	}
+	bit := uint64(1) << uint(p.id-1)
+	s.parkedSet &^= bit
+	s.inboxDue &^= bit
+	s.reaping = true
+	p.resume <- struct{}{}
+	<-s.reapAck
+	s.reaping = false
 }
 
 // Run executes the system: it starts every registered main, then drives
@@ -451,7 +552,7 @@ func (s *System) Run(stop func() bool) Report {
 	for i := 1; i <= s.cfg.N; i++ {
 		p := s.procs[i]
 		if s.pattern.CrashTime(p.id) <= 0 {
-			p.markDead() // initial crash: never takes a step
+			p.dead = true // initial crash: never takes a step
 			continue
 		}
 		if p.main == nil {
@@ -462,19 +563,18 @@ func (s *System) Run(stop func() bool) Report {
 
 	stoppedEarly := s.schedule(stop)
 
-	// Tear down: mark everything stopped so blocked processes unwind,
-	// then join them.
-	s.stopFlag.Store(true)
+	// Tear down: unwind every parked process goroutine, then join them.
 	for i := 1; i <= s.cfg.N; i++ {
-		s.procs[i].kill()
+		p := s.procs[i]
+		p.dead = true
+		if s.parkedSet&(1<<uint(i-1)) != 0 {
+			s.reap(p)
+		}
 	}
 	s.wg.Wait()
 
-	s.panicMu.Lock()
-	panicked, panicVal := s.panicked.Load(), s.panicVal
-	s.panicMu.Unlock()
-	if panicked {
-		panic(panicVal)
+	if s.panicked {
+		panic(s.panicVal)
 	}
 
 	return Report{
@@ -484,60 +584,93 @@ func (s *System) Run(stop func() bool) Report {
 	}
 }
 
-// schedule is the adversary loop: one scheduled tick per iteration.
+// schedule hands the run token into the system from Run's goroutine and
+// takes it back when the run is over. Run's goroutine only runs ticks
+// itself while no process is due (e.g. a run with no spawned mains);
+// as soon as a process is dispatched, the token circulates process to
+// process and Run just waits for it to come home.
 func (s *System) schedule(stop func() bool) bool {
+	s.stop = stop
+	s.running = true
 	for {
-		now := s.Now()
-		if now >= s.cfg.MaxSteps {
-			return false
+		if s.panicked || s.ended {
+			return s.stoppedEarly
 		}
-		if stop != nil && stop() {
-			return true
+		if s.due != 0 {
+			id := bits.TrailingZeros64(s.due) + 1
+			bit := uint64(1) << uint(id-1)
+			s.due &^= bit
+			s.parkedSet &^= bit
+			s.inboxDue &^= bit
+			s.procs[id].resume <- struct{}{}
+			<-s.yield // token comes home only when the run ends
+			return s.stoppedEarly
 		}
-		if s.hasPanicked() {
-			return false
+		if s.tick(nil) {
+			return s.stoppedEarly
 		}
+	}
+}
 
-		// Apply crashes scheduled at this tick.
+// tick runs one scheduled tick's phases — stop checks, crashes,
+// deliveries, samplers, clock advance, due-set computation — on the
+// token holder's stack (self is the calling process, nil from Run's
+// goroutine). It returns true when the run is over.
+func (s *System) tick(self *Proc) bool {
+	now := s.Now()
+	if now >= s.cfg.MaxSteps {
+		return true
+	}
+	if s.stop != nil && s.stop() {
+		s.stoppedEarly = true
+		return true
+	}
+	if s.panicked {
+		return true
+	}
+
+	// Apply crashes scheduled at this tick (skipped in O(1) while no
+	// crash is pending — crashTimes is sorted and crashIdx tracks how
+	// far the run has come).
+	if s.crashIdx < len(s.crashTimes) && s.crashTimes[s.crashIdx] <= now {
+		for s.crashIdx < len(s.crashTimes) && s.crashTimes[s.crashIdx] <= now {
+			s.crashIdx++
+		}
 		for i := 1; i <= s.cfg.N; i++ {
 			p := s.procs[i]
 			if s.pattern.CrashTime(p.id) == now {
-				s.killAt(p)
-			}
-		}
-
-		s.deliverPhase(now)
-
-		// Samplers observe the system at time `now` (the clock has not
-		// advanced yet, so oracles read the same instant).
-		for _, fn := range s.onTick {
-			fn(now)
-		}
-		for _, fn := range s.onAdvance {
-			fn(now)
-		}
-
-		// Advance the clock — by one tick, or past a provably idle
-		// stretch — then wake, sequentially and in identity order, every
-		// process whose wait condition is due.
-		next := s.nextTime(now)
-		s.now.Store(int64(next))
-		s.qmu.Lock()
-		due := s.parkedSet & s.inboxDue
-		for mask := s.parkedSet; mask != 0; mask &= mask - 1 {
-			id := bits.TrailingZeros64(mask) + 1
-			if s.deadlines[id] <= next {
-				due |= 1 << uint(id-1)
-			}
-		}
-		s.qmu.Unlock()
-		for ; due != 0; due &= due - 1 {
-			s.wake(s.procs[bits.TrailingZeros64(due)+1])
-			if s.hasPanicked() {
-				return false
+				s.killAt(p, self)
 			}
 		}
 	}
+
+	if len(s.arrivals) > 0 || len(s.eligible) > 0 || len(s.heldTimes) > 0 {
+		s.deliverPhase(now)
+	}
+
+	// Samplers observe the system at time `now` (the clock has not
+	// advanced yet, so oracles read the same instant).
+	for _, fn := range s.onTick {
+		fn(now)
+	}
+	for _, fn := range s.onAdvance {
+		fn(now)
+	}
+
+	// Advance the clock — by one tick, or past a provably idle stretch —
+	// and select, in identity order, every process whose wait condition
+	// is due. The dispatch chain wakes them one after another.
+	next := s.nextTime(now)
+	s.now.Store(int64(next))
+	due := s.parkedSet & s.inboxDue
+	for mask := s.parkedSet; mask != 0; mask &= mask - 1 {
+		id := bits.TrailingZeros64(mask) + 1
+		if s.deadlines[id] <= next {
+			due |= 1 << uint(id-1)
+		}
+	}
+	s.due = due
+	return false
 }
 
 // deliverPhase routes accepted messages into the eligibility structures
@@ -545,9 +678,7 @@ func (s *System) schedule(stop func() bool) bool {
 // random among all eligible ones. Deliveries land in inboxes silently;
 // recipients are woken by the subsequent wake phase.
 func (s *System) deliverPhase(now Time) {
-	s.mu.Lock()
-	s.routeLocked(now)
-	batch := s.batch[:0]
+	s.route(now)
 	k := s.cfg.bandwidth()
 	for i := 0; i < k && len(s.eligible) > 0; i++ {
 		j := s.rng.Intn(len(s.eligible))
@@ -556,34 +687,24 @@ func (s *System) deliverPhase(now Time) {
 		s.eligible[j] = s.eligible[last]
 		s.eligible[last] = envelope{}
 		s.eligible = s.eligible[:last]
-		batch = append(batch, env.msg)
-	}
-	s.batch = batch
-	s.mu.Unlock()
-
-	var dsts uint64
-	for _, m := range batch {
+		m := env.msg
+		s.inflight.Add(-1)
 		if s.pattern.Crashed(m.To, now) {
-			s.metrics.dropped(m.Tag)
+			s.metrics.countDropped(m.Tag)
 			continue
 		}
 		m.DeliveredAt = now
-		s.procs[m.To].enqueue(m)
-		s.metrics.delivered(m.Tag)
-		dsts |= 1 << uint(m.To-1)
-	}
-	if dsts != 0 {
-		s.qmu.Lock()
-		s.inboxDue |= dsts
-		s.qmu.Unlock()
+		s.procs[m.To].inbox = append(s.procs[m.To].inbox, m)
+		s.metrics.countDelivered(m.Tag)
+		s.inboxDue |= 1 << uint(m.To-1)
 	}
 }
 
-// routeLocked moves arrivals into eligible or the held buckets, then
-// promotes every bucket whose release time has come. Must be called with
-// s.mu held. Arrival order is deterministic: processes execute
-// sequentially, so sends are appended in process-step order.
-func (s *System) routeLocked(now Time) {
+// route moves arrivals into eligible or the held buckets, then promotes
+// every bucket whose release time has come. Arrival order is
+// deterministic: processes execute sequentially, so sends are appended
+// in process-step order.
+func (s *System) route(now Time) {
 	for _, e := range s.arrivals {
 		if e.notBefore <= now {
 			s.eligible = append(s.eligible, e)
@@ -594,6 +715,10 @@ func (s *System) routeLocked(now Time) {
 			s.heldTimes = append(s.heldTimes, 0)
 			copy(s.heldTimes[i+1:], s.heldTimes[i:])
 			s.heldTimes[i] = e.notBefore
+			if n := len(s.bucketPool); n > 0 {
+				s.held[e.notBefore] = s.bucketPool[n-1]
+				s.bucketPool = s.bucketPool[:n-1]
+			}
 		}
 		s.held[e.notBefore] = append(s.held[e.notBefore], e)
 	}
@@ -601,8 +726,10 @@ func (s *System) routeLocked(now Time) {
 	for len(s.heldTimes) > 0 && s.heldTimes[0] <= now {
 		t := s.heldTimes[0]
 		s.heldTimes = s.heldTimes[1:]
-		s.eligible = append(s.eligible, s.held[t]...)
+		b := s.held[t]
+		s.eligible = append(s.eligible, b...)
 		delete(s.held, t)
+		s.bucketPool = append(s.bucketPool, b[:0])
 	}
 }
 
@@ -614,84 +741,66 @@ func (s *System) nextTime(now Time) Time {
 	if len(s.onTick) > 0 {
 		return now + 1
 	}
-	s.mu.Lock()
-	backlog := len(s.eligible) > 0 || len(s.arrivals) > 0
-	nextHeld := Never
-	if len(s.heldTimes) > 0 {
-		nextHeld = s.heldTimes[0]
-	}
-	s.mu.Unlock()
-	if backlog {
+	if len(s.eligible) > 0 || len(s.arrivals) > 0 {
 		return now + 1
 	}
 
 	next := s.cfg.MaxSteps
-	if nextHeld < next {
-		next = nextHeld
+	if len(s.heldTimes) > 0 && s.heldTimes[0] < next {
+		next = s.heldTimes[0]
 	}
-	for _, ct := range s.crashTimes {
-		if ct > now {
-			if ct < next {
-				next = ct
-			}
-			break
+	if s.crashIdx < len(s.crashTimes) {
+		if ct := s.crashTimes[s.crashIdx]; ct > now && ct < next {
+			next = ct
 		}
 	}
-	s.qmu.Lock()
-	inboxed := s.parkedSet & s.inboxDue
+	if s.parkedSet&s.inboxDue != 0 {
+		return now + 1
+	}
 	for mask := s.parkedSet; mask != 0; mask &= mask - 1 {
 		if d := s.deadlines[bits.TrailingZeros64(mask)+1]; d < next {
 			next = d
 		}
 	}
-	s.qmu.Unlock()
-	if inboxed != 0 {
-		return now + 1
+	if s.hintLen.Load() > 0 {
+		s.hintMu.Lock()
+		for len(s.hints) > 0 && s.hints[0] <= now {
+			s.hints = s.hints[1:]
+		}
+		if len(s.hints) > 0 && s.hints[0] < next {
+			next = s.hints[0]
+		}
+		s.hintLen.Store(int32(len(s.hints)))
+		s.hintMu.Unlock()
 	}
-	s.hintMu.Lock()
-	for len(s.hints) > 0 && s.hints[0] <= now {
-		s.hints = s.hints[1:]
-	}
-	if len(s.hints) > 0 && s.hints[0] < next {
-		next = s.hints[0]
-	}
-	s.hintMu.Unlock()
 	if next <= now {
 		return now + 1
 	}
 	return next
 }
 
-// send enqueues a message into the network. Called from process goroutines.
-// SentAt is stamped at acceptance time under the network lock, and sends
-// from an already-crashed process are refused, so every accepted message
-// satisfies SentAt < crash time of its sender.
+// send enqueues a message into the network. Called from process
+// goroutines, which hold the run token — so the queues need no lock.
+// send owns the SentAt stamp: it is set here, at acceptance time, and
+// nowhere else; sends from an already-crashed process are refused, so
+// every accepted message satisfies SentAt < crash time of its sender.
 func (s *System) send(m Message) {
-	nb := Time(0)
-	for _, h := range s.cfg.Holds {
-		if h.From.Contains(m.From) && h.To.Contains(m.To) && h.Until > nb {
-			nb = h.Until
-		}
-	}
-	s.mu.Lock()
 	now := s.Now()
 	if s.pattern.Crashed(m.From, now) {
-		s.mu.Unlock()
 		return
+	}
+	var nb Time
+	if s.holdUntil != nil {
+		nb = s.holdUntil[int(m.From)*(s.cfg.N+1)+int(m.To)]
 	}
 	m.SentAt = now
 	s.arrivals = append(s.arrivals, envelope{msg: m, notBefore: nb})
-	s.mu.Unlock()
-	s.metrics.sent(m.Tag)
+	s.inflight.Add(1)
+	s.metrics.countSent(m.Tag)
 }
 
 // InFlight returns the number of undelivered messages (diagnostics).
+// Safe from any goroutine.
 func (s *System) InFlight() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := len(s.arrivals) + len(s.eligible)
-	for _, b := range s.held {
-		n += len(b)
-	}
-	return n
+	return int(s.inflight.Load())
 }

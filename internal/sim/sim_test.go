@@ -65,7 +65,7 @@ func TestBroadcastDelivery(t *testing.T) {
 	var mu sync.Mutex
 	got := make(map[ids.ProcID]map[ids.ProcID]int)
 	s.SpawnAll(func(e *Env) {
-		e.Broadcast("hello", int(e.ID()))
+		e.Broadcast(Intern("hello"), int(e.ID()))
 		seen := map[ids.ProcID]int{}
 		for len(seen) < n {
 			m, ok := e.Step()
@@ -117,7 +117,7 @@ func TestCrashStopsSends(t *testing.T) {
 	var lastSentAt atomic.Int64
 	s.Spawn(2, func(e *Env) {
 		for {
-			e.Send(1, "tick", nil)
+			e.Send(1, Intern("tick"), nil)
 			// Yield to the scheduler between sends.
 			e.Step()
 		}
@@ -125,7 +125,7 @@ func TestCrashStopsSends(t *testing.T) {
 	s.Spawn(1, func(e *Env) {
 		for {
 			m, ok := e.Step()
-			if ok && m.Tag == "tick" && int64(m.SentAt) > lastSentAt.Load() {
+			if ok && m.Tag == Intern("tick") && int64(m.SentAt) > lastSentAt.Load() {
 				lastSentAt.Store(int64(m.SentAt))
 			}
 		}
@@ -146,7 +146,7 @@ func TestInitialCrashNeverActs(t *testing.T) {
 	ran := atomic.Bool{}
 	s.Spawn(1, func(e *Env) {
 		ran.Store(true)
-		e.Broadcast("x", nil)
+		e.Broadcast(Intern("x"), nil)
 	})
 	s.Spawn(2, func(e *Env) {
 		for {
@@ -169,12 +169,12 @@ func TestMessagesToCrashedAreDropped(t *testing.T) {
 		Crashes: map[ids.ProcID]Time{2: 0},
 	})
 	s.Spawn(1, func(e *Env) {
-		e.Send(2, "gone", nil)
+		e.Send(2, Intern("gone"), nil)
 		for {
 			e.Step()
 		}
 	})
-	rep := s.Run(func() bool { return s.Metrics().Sent("gone") == 1 && s.InFlight() == 0 })
+	rep := s.Run(func() bool { return s.Metrics().Sent(Intern("gone")) == 1 && s.InFlight() == 0 })
 	if rep.Messages.Dropped["gone"] != 1 {
 		t.Errorf("dropped = %d, want 1", rep.Messages.Dropped["gone"])
 	}
@@ -189,7 +189,7 @@ func TestHoldDelaysDelivery(t *testing.T) {
 	var deliveredAt atomic.Int64
 	deliveredAt.Store(-1)
 	s.Spawn(1, func(e *Env) {
-		e.Send(2, "held", nil)
+		e.Send(2, Intern("held"), nil)
 		for {
 			e.Step()
 		}
@@ -197,7 +197,7 @@ func TestHoldDelaysDelivery(t *testing.T) {
 	s.Spawn(2, func(e *Env) {
 		for {
 			m, ok := e.Step()
-			if ok && m.Tag == "held" {
+			if ok && m.Tag == Intern("held") {
 				deliveredAt.Store(int64(m.DeliveredAt))
 				return
 			}
@@ -251,7 +251,7 @@ func TestSendToUnknownPanics(t *testing.T) {
 				recovered.Store(true)
 			}
 		}()
-		e.Send(9, "bad", nil)
+		e.Send(9, Intern("bad"), nil)
 	})
 	s.Run(func() bool { return recovered.Load() })
 	if !recovered.Load() {
@@ -297,8 +297,8 @@ func TestSpawnValidation(t *testing.T) {
 func TestMetricsSnapshotTags(t *testing.T) {
 	s := MustNew(Config{N: 2, T: 0, Seed: 4, MaxSteps: 5_000})
 	s.Spawn(1, func(e *Env) {
-		e.Send(2, "b", nil)
-		e.Send(2, "a", nil)
+		e.Send(2, Intern("b"), nil)
+		e.Send(2, Intern("a"), nil)
 		for {
 			e.Step()
 		}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Tag identifies a message kind. Tags are interned strings: the first
+// Intern of a name allocates a small integer id and every later Intern
+// of the same name returns the same id, so the send path indexes plain
+// per-tag counter slices instead of hashing strings. The external
+// metrics format (MetricsSnapshot) stays string-keyed; Tag.String
+// recovers the name.
+//
+// The zero Tag is "no tag" — the Tag of a zero Message, as returned by
+// Step on a pure clock tick. Intern never returns it.
+type Tag int32
+
+// The interner is process-global so protocol packages intern their tags
+// once, in package-level var declarations, and share them across every
+// System — a sweep runs many systems concurrently, and a tag like
+// "kset.phase1" means the same thing in all of them.
+var tagTable = struct {
+	mu    sync.RWMutex
+	ids   map[string]Tag
+	names []string // index Tag; names[0] is the zero Tag's ""
+}{ids: make(map[string]Tag), names: []string{""}}
+
+// Intern returns the Tag for name, allocating it on first use. It is
+// idempotent and safe for concurrent use. Intended for package-level
+// var declarations or protocol setup — not per send, although even
+// that costs only a read-locked map hit once the name exists.
+func Intern(name string) Tag {
+	tagTable.mu.RLock()
+	t, ok := tagTable.ids[name]
+	tagTable.mu.RUnlock()
+	if ok {
+		return t
+	}
+	tagTable.mu.Lock()
+	defer tagTable.mu.Unlock()
+	if t, ok = tagTable.ids[name]; ok {
+		return t
+	}
+	t = Tag(len(tagTable.names))
+	tagTable.names = append(tagTable.names, name)
+	tagTable.ids[name] = t
+	return t
+}
+
+// String returns the interned name ("" for the zero Tag).
+func (t Tag) String() string {
+	tagTable.mu.RLock()
+	defer tagTable.mu.RUnlock()
+	if t < 0 || int(t) >= len(tagTable.names) {
+		return fmt.Sprintf("sim.Tag(%d)", int32(t))
+	}
+	return tagTable.names[t]
+}
+
+// internedTags returns the current interner size — a sizing hint for
+// per-run counter slices (tags interned later grow them on demand).
+func internedTags() int {
+	tagTable.mu.RLock()
+	defer tagTable.mu.RUnlock()
+	return len(tagTable.names)
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -84,13 +85,14 @@ func Run(m Matrix, opt Options) (*Report, error) {
 
 	start := time.Now()
 	results := make([]CellResult, len(cells))
-	var next int64
-	var mu sync.Mutex
+	// Lock-free work distribution: Add hands each worker a distinct
+	// index. Which worker runs which cell stays scheduling-dependent —
+	// but results[i] is written only by the worker that took i, and the
+	// report is assembled in index order after wg.Wait, so the output is
+	// deterministic regardless.
+	var next atomic.Int64
 	take := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		i := int(next)
-		next++
+		i := int(next.Add(1)) - 1
 		if i >= len(cells) {
 			return -1
 		}

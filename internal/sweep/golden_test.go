@@ -1,0 +1,120 @@
+package sweep
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fdgrid/internal/core"
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// The golden-report guard: two representative matrices whose canonical
+// JSON is compared byte-for-byte against checked-in files. Together they
+// exercise every scheduler surface whose behaviour must survive
+// refactors unchanged — random delivery order, crash drops, scripted
+// holds, reliable-broadcast relays, per-tag metrics, time-mark samplers
+// and early-stop predicates. Any scheduler change that alters a verdict,
+// a delivery order, a tick count or a message count shows up here as a
+// byte diff.
+//
+// Regenerate (only when a behaviour change is intended and understood):
+//
+//	go test ./internal/sweep -run TestGoldenReports -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden sweep reports")
+
+func goldenMatrices() []Matrix {
+	return []Matrix{
+		{
+			// Agreement over the grid: kset + rbcast decision frames,
+			// crashes both initial and late, several grid classes.
+			Name: "golden-kset", Protocol: "kset-grid",
+			Seeds: []int64{0, 1, 2},
+			Sizes: []Size{{N: 5, T: 2}},
+			Patterns: []CrashPattern{
+				{Name: "late-crash", Crashes: []CrashSpec{{Proc: 4, At: 900}}},
+				{Name: "initial-crash", Crashes: []CrashSpec{{Proc: 2, At: 0}}},
+			},
+			Combos: []Combo{
+				{Family: core.FamOmega, Param: 1, Z: 1},
+				{Family: core.FamEvtS, Param: 2, Z: 2},
+			},
+			GST: 600, MaxSteps: 2_000_000,
+		},
+		{
+			// The two-wheels transformation: scripted holds, inquiry
+			// traffic sampled at a time mark, sparse traces, early stop.
+			Name: "golden-wheels", Protocol: "two-wheels",
+			Seeds: []int64{0, 1},
+			Sizes: []Size{{N: 5, T: 2}},
+			Patterns: []CrashPattern{
+				{Name: "late-crash", Crashes: []CrashSpec{{Proc: 4, At: 800}}},
+				{Name: "held-region", Crashes: []CrashSpec{{Proc: 4, At: 800}},
+					Holds: []sim.Hold{{From: ids.NewSet(5), To: ids.FullSet(5), Until: 1_500}}},
+			},
+			Combos:    []Combo{{X: 1, Y: 1}, {X: 2, Y: 0}},
+			Bandwidth: 10,
+			GST:       600, MaxSteps: 400_000,
+			Params: map[string]int64{"stable_for": 12_000, "margin": 10_000, "mark": 20_000},
+		},
+	}
+}
+
+func TestGoldenReports(t *testing.T) {
+	for _, m := range goldenMatrices() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			rep, err := Run(m, Options{Workers: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rep.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", m.Name+".golden.json")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("canonical report differs from %s:\n%s", path, firstDiff(got, want))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first divergent region of two byte slices with a
+// little context — enough to see which cell and field drifted.
+func firstDiff(got, want []byte) string {
+	i := 0
+	for i < len(got) && i < len(want) && got[i] == want[i] {
+		i++
+	}
+	lo := i - 200
+	if lo < 0 {
+		lo = 0
+	}
+	snippet := func(b []byte) string {
+		hi := i + 200
+		if hi > len(b) {
+			hi = len(b)
+		}
+		return string(b[lo:hi])
+	}
+	return fmt.Sprintf("first difference at byte %d\n--- got ---\n%s\n--- want ---\n%s", i, snippet(got), snippet(want))
+}

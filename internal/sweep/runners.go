@@ -211,7 +211,7 @@ func runConsensusDS(c *Cell, res *CellResult) {
 
 // watchMark installs a sparse sampler recording the wire traffic of tag
 // at the first scheduled tick at or after mark.
-func watchMark(sys *sim.System, tag string, mark sim.Time, res *CellResult, name string) {
+func watchMark(sys *sim.System, tag sim.Tag, mark sim.Time, res *CellResult, name string) {
 	if mark <= 0 {
 		return
 	}
@@ -280,7 +280,7 @@ func runTwoWheels(c *Cell, res *CellResult) {
 	// The emulated Trusted consults the querier live; make sure every
 	// tick it can change at is scheduled, so the sparse trace is exact.
 	hintOracleChanges(sys, quer)
-	watchMark(sys, "wheel.inquiry", sim.Time(c.Param("mark", 0)), res, "inquiries_at_mark")
+	watchMark(sys, sim.Intern("wheel.inquiry"), sim.Time(c.Param("mark", 0)), res, "inquiries_at_mark")
 	var stop func() bool
 	if sf := sim.Time(c.Param("stable_for", 0)); sf > 0 {
 		stop = trace.StableFor(sys.Pattern().Correct(), sf)
@@ -347,7 +347,7 @@ func runLowerWheel(c *Cell, res *CellResult) {
 	x := c.Combo.X
 	susp := fd.NewEvtS(sys, x)
 	reprs := reduction.SpawnLowerWheel(sys, susp, x)
-	wire := rbcast.WireTag("wheel.xmove")
+	wire := rbcast.WireTag(sim.Intern("wheel.xmove"))
 	mark := sim.Time(c.Param("mark", 0))
 	watchMark(sys, wire, mark, res, "xmove_at_mark")
 	rep := sys.Run(nil)
@@ -372,7 +372,7 @@ func runLowerWheel(c *Cell, res *CellResult) {
 	if !stable {
 		res.fail("correct processes did not rest on a common (leader, X) pair")
 	}
-	end := rep.Messages.Sent[wire]
+	end := rep.Messages.Sent[wire.String()]
 	res.measure("xmove_end", end)
 	if mark > 0 {
 		at, ok := res.Measures["xmove_at_mark"]
