@@ -1,18 +1,27 @@
 # fdgrid — build, verify and smoke-test the reproduction.
 #
-#   make ci      vet + build + race tests + sweep smoke run (the full gate)
-#   make test    plain unit tests
-#   make smoke   short parallel sweep through cmd/experiments
-#   make bench   benchmarks (5 counts) + sweep wall time → BENCH_PR2.json
+#   make ci          vet + build + race tests + sweep smoke run (the full gate)
+#   make test        plain unit tests
+#   make smoke       short parallel sweep through cmd/experiments
+#   make bench       benchmarks (5 counts) + sweep wall time → $(BENCH_OUT)
+#   make bench-gate  scheduler micro-benchmarks vs the committed baseline
+#
+# BENCH_OUT names the committed benchmark record; override it when
+# cutting a new baseline (e.g. `make bench BENCH_OUT=BENCH_PR4.json`).
 
 GO ?= go
+BENCH_OUT ?= BENCH_PR3.json
 
-.PHONY: ci vet build test race smoke bench bench-smoke clean
+.PHONY: ci vet build test race smoke bench bench-smoke bench-gate clean
 
 ci: vet build race smoke
 
+# vet also enforces gofmt: a formatting diff fails the target with the
+# offending files listed.
 vet:
 	$(GO) vet ./...
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -24,7 +33,7 @@ race:
 	$(GO) test -race ./...
 
 # A short end-to-end sweep: every experiment matrix runs (the full
-# matrix takes under two seconds), the rendered report and canonical
+# matrix takes a couple of seconds), the rendered report and canonical
 # JSON land in /tmp. Fails if any experiment reports FAILED. Fewer seeds
 # are not used: EXP-T5's distinct-value witness needs several.
 smoke: build
@@ -37,21 +46,28 @@ smoke: build
 # Full benchmark pass: every benchmark 5 times (benchstat wants repeated
 # samples; a duration-based benchtime lets the nanosecond scheduler
 # micro-benchmarks amortize their setup while keeping the sweep-heavy
-# ones tractable), plus three timed runs of the full 151-cell experiment
-# matrix. The parsed record lands in BENCH_PR2.json; a "baseline"
-# section already present there (the committed PR-1 reference) is
-# preserved.
+# ones tractable), plus three timed runs of the full experiment matrix.
+# The parsed record lands in $(BENCH_OUT); a "baseline" section already
+# present there (the committed PR-1 reference) is preserved.
 bench: build
 	$(GO) test -bench . -benchmem -count 5 -benchtime 300ms -run XXX . | tee /tmp/fdgrid-bench.txt
 	rm -f /tmp/fdgrid-sweeptime.txt
 	for i in 1 2 3; do $(GO) run ./cmd/experiments -out /tmp/fdgrid-bench-sweep.md >> /tmp/fdgrid-sweeptime.txt || exit 1; done
 	cat /tmp/fdgrid-sweeptime.txt
-	$(GO) run ./cmd/bench2json -bench /tmp/fdgrid-bench.txt -sweep /tmp/fdgrid-sweeptime.txt -out BENCH_PR2.json
+	$(GO) run ./cmd/bench2json -bench /tmp/fdgrid-bench.txt -sweep /tmp/fdgrid-sweeptime.txt -out $(BENCH_OUT)
 
 # The bench smoke CI runs: the scheduler micro-benchmarks only, enough
 # to catch a perf-path regression that breaks outright.
 bench-smoke: build
 	$(GO) test -bench 'BenchmarkScheduler' -benchtime 1000x -run XXX .
+
+# The CI benchmark-regression gate: sample the scheduler micro-
+# benchmarks a few times and compare medians against the committed
+# record; a >25% median regression fails (see cmd/benchgate for why the
+# threshold is generous).
+bench-gate: build
+	$(GO) test -bench 'BenchmarkScheduler' -benchtime 200ms -count 5 -run XXX . | tee /tmp/fdgrid-bench-gate.txt
+	$(GO) run ./cmd/benchgate -baseline $(BENCH_OUT) -bench /tmp/fdgrid-bench-gate.txt -match 'BenchmarkScheduler' -threshold 0.25
 
 clean:
 	rm -f /tmp/fdgrid-smoke.md /tmp/fdgrid-smoke.json

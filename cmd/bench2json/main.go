@@ -1,8 +1,9 @@
 // Command bench2json converts `go test -bench` text output plus
 // cmd/experiments sweep timings into the committed benchmark record
-// (BENCH_PR2.json): per-benchmark ns/op samples (benchstat-compatible —
-// the raw lines are carried verbatim) and custom metrics (vticks/run,
-// msgs/run, …), plus the wall time of the full 151-cell sweep.
+// (BENCH_PR3.json by default, via the Makefile's BENCH_OUT): per-
+// benchmark ns/op samples (benchstat-compatible — the raw lines are
+// carried verbatim) and custom metrics (vticks/run, msgs/run, …), plus
+// the wall time of the full experiment sweep.
 //
 // If the output file already exists and carries a "baseline" section,
 // that section is preserved, so re-running `make bench` refreshes the
@@ -10,7 +11,7 @@
 //
 // Usage:
 //
-//	bench2json -bench bench.txt -sweep sweep.txt -out BENCH_PR2.json
+//	bench2json -bench bench.txt -sweep sweep.txt -out BENCH_PR3.json
 package main
 
 import (
@@ -22,16 +23,10 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
-	"strings"
 
 	"fdgrid/internal/benchrec"
 )
 
-// benchLine matches one `go test -bench` result line. The name group is
-// lazy so the `-N` GOMAXPROCS suffix (absent on a 1-CPU box, present
-// everywhere else) lands in its own group and is stripped — baseline
-// keys must compare equal across machines.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+(.*)$`)
 var sweepLine = regexp.MustCompile(`\((\d+) matrices, (\d+) cells, ([0-9.]+)s\)`)
 
 func parseBench(path string, rec *benchrec.Record) error {
@@ -40,35 +35,14 @@ func parseBench(path string, rec *benchrec.Record) error {
 		return err
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		name := m[1]
-		b := rec.Benchmarks[name]
-		if b == nil {
-			b = &benchrec.Benchmark{Metrics: map[string][]float64{}}
-			rec.Benchmarks[name] = b
-		}
-		b.Raw = append(b.Raw, line)
-		fields := strings.Fields(m[3])
-		for i := 0; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			switch unit := fields[i+1]; unit {
-			case "ns/op":
-				b.NsOp = append(b.NsOp, v)
-			default:
-				b.Metrics[unit] = append(b.Metrics[unit], v)
-			}
-		}
+	parsed, err := benchrec.ParseBenchOutput(f)
+	if err != nil {
+		return err
 	}
-	return sc.Err()
+	for name, b := range parsed {
+		rec.Benchmarks[name] = b
+	}
+	return nil
 }
 
 func parseSweep(path string, rec *benchrec.Record) error {
@@ -84,6 +58,9 @@ func parseSweep(path string, rec *benchrec.Record) error {
 			if err == nil {
 				rec.SweepWallS = append(rec.SweepWallS, v)
 			}
+			if cells, err := strconv.Atoi(m[2]); err == nil {
+				rec.SweepCells = cells
+			}
 		}
 	}
 	return sc.Err()
@@ -93,7 +70,7 @@ func main() {
 	var (
 		bench   = flag.String("bench", "", "go test -bench output file")
 		sweep   = flag.String("sweep", "", "cmd/experiments output file (wall-time lines)")
-		out     = flag.String("out", "BENCH_PR2.json", "output JSON file")
+		out     = flag.String("out", "BENCH_PR3.json", "output JSON file")
 		note    = flag.String("note", "", "free-form note recorded in the file")
 		machine = flag.String("machine", "", "machine description recorded in the file")
 	)

@@ -33,6 +33,7 @@
 package fdgrid
 
 import (
+	"fdgrid/internal/adversary"
 	"fdgrid/internal/agreement"
 	"fdgrid/internal/core"
 	"fdgrid/internal/fd"
@@ -246,9 +247,24 @@ type (
 	// SweepReport aggregates a matrix run; its CanonicalJSON is
 	// byte-identical across repeated runs of the same matrix.
 	SweepReport = sweep.Report
-	// SweepOptions configures the worker pool.
+	// SweepOptions configures the worker pool and the optional shard.
 	SweepOptions = sweep.Options
+	// SweepShard selects slice i of m of a matrix's cells (set it on
+	// SweepOptions); m shard runs merge back into the unsharded report
+	// via MergeSweepReports, byte-identically.
+	SweepShard = sweep.Shard
+	// AdversaryFamily declares a generated adversary dimension point
+	// (SweepMatrix.AdversaryFamilies): a schedule kind — staggered,
+	// clustered, cascade, partition, silence — plus its knobs, expanded
+	// deterministically per size by the adversary package.
+	AdversaryFamily = adversary.Family
 )
+
+// MergeSweepReports recombines a complete shard family into the report
+// the unsharded run would have produced (byte-identical canonical JSON).
+func MergeSweepReports(parts []*SweepReport) (*SweepReport, error) {
+	return sweep.MergeReports(parts)
+}
 
 // Sweep expands the matrix and runs every cell on a worker pool, each on
 // an isolated simulated system. Because the simulator is

@@ -127,3 +127,43 @@ func TestSweepTopLevel(t *testing.T) {
 		t.Errorf("expected the built-in protocol registry, got %v", fdgrid.SweepProtocols())
 	}
 }
+
+// TestSweepShardedGeneratedAdversaries drives the PR-3 surface through
+// the facade: a matrix whose adversary dimension is generated
+// (AdversaryFamily), run as two shards and merged back byte-identically
+// to the unsharded report.
+func TestSweepShardedGeneratedAdversaries(t *testing.T) {
+	m := fdgrid.SweepMatrix{
+		Name: "top-level-gen", Protocol: "kset-omega",
+		Seeds: []int64{0}, Sizes: []fdgrid.SweepSize{{N: 6, T: 2}},
+		AdversaryFamilies: []fdgrid.AdversaryFamily{
+			{Kind: "staggered", Count: 2, Variants: 2, Seed: 3, Start: 200},
+		},
+		Combos: []fdgrid.SweepCombo{{Z: 2}},
+		GST:    300, MaxSteps: 400_000,
+	}
+	full, err := fdgrid.Sweep(m, fdgrid.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.OK() {
+		t.Fatalf("generated-adversary sweep failed: %s", full.Summary())
+	}
+	want, _ := full.CanonicalJSON()
+	var parts []*fdgrid.SweepReport
+	for i := 0; i < 2; i++ {
+		p, err := fdgrid.Sweep(m, fdgrid.SweepOptions{Shard: fdgrid.SweepShard{Index: i, Count: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, p)
+	}
+	merged, err := fdgrid.MergeSweepReports(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := merged.CanonicalJSON()
+	if string(got) != string(want) {
+		t.Fatal("merged shard reports differ from the unsharded run")
+	}
+}

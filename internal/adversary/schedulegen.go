@@ -1,0 +1,250 @@
+package adversary
+
+import (
+	"fmt"
+
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// This file makes the adversary generative: instead of hand-enumerating
+// crash schedules, a sweep declares a Family — a *kind* of adversary
+// behaviour plus its knobs — and the ScheduleGen expands it into
+// concrete, named schedules. Expansion is a pure function of
+// (family, n, t): the same declaration always yields the same
+// schedules, on any machine, so sweep reports over generated
+// adversaries stay byte-reproducible and shardable.
+//
+// The families are the recurring shapes of the paper's adversary
+// arguments: staggered and clustered crashes (the failure patterns the
+// grid classes are quantified over), cascades (worst-case sequential
+// loss), and the message-hold scripts of the irreducibility proofs —
+// partitions and silent regions, the "easy impossibility" executions in
+// which a live region is indistinguishable from a crashed one.
+
+// Family kinds understood by ScheduleGen.Expand.
+const (
+	// KindStaggered crashes Count processes one after another, spaced
+	// roughly Spacing ticks apart from Start (times are jittered per
+	// variant, victims drawn per variant).
+	KindStaggered = "staggered"
+	// KindClustered crashes a contiguous identity block of Count
+	// processes simultaneously at Start.
+	KindClustered = "clustered"
+	// KindCascade crashes Count processes with geometrically growing
+	// gaps: crash i falls at Start + Spacing·(2^i − 1).
+	KindCascade = "cascade"
+	// KindPartition splits Π into a drawn block of Count processes and
+	// the rest, and holds every message crossing the cut (both
+	// directions) sent during [Start, Start+Window) until the window
+	// closes. No process crashes.
+	KindPartition = "partition"
+	// KindSilence draws a region E of Count processes and holds every
+	// message E sends during [Start, Start+Window) until the window
+	// closes — the run-R′ ingredient of the Theorem 9 construction,
+	// as a reusable sweep dimension. No process crashes.
+	KindSilence = "silence"
+)
+
+// Family declares one generated adversary dimension point: a schedule
+// kind plus its knobs. The zero knobs default per kind; Variants is how
+// many concrete schedules the family expands into (default 1), each
+// drawn deterministically from Seed.
+type Family struct {
+	Kind     string   `json:"kind"`
+	Count    int      `json:"count,omitempty"`    // crashes / block size; 0 = kind default
+	Variants int      `json:"variants,omitempty"` // schedules generated; 0 = 1
+	Seed     int64    `json:"seed,omitempty"`     // draw seed (victims, jitter)
+	Start    sim.Time `json:"start,omitempty"`    // first event tick; 0 = 100
+	Spacing  sim.Time `json:"spacing,omitempty"`  // staggered/cascade gap; 0 = 200
+	Window   sim.Time `json:"window,omitempty"`   // partition/silence length; 0 = 1000
+}
+
+// Crash schedules one process crash.
+type Crash struct {
+	P  ids.ProcID
+	At sim.Time
+}
+
+// Schedule is one concrete generated adversary: named crashes plus
+// scripted holds, ready to be turned into a sweep crash pattern.
+type Schedule struct {
+	Name    string
+	Crashes []Crash
+	Holds   []sim.Hold
+}
+
+// ScheduleGen expands families against one system size. The generator
+// carries no hidden state: every Expand draws only from the family's
+// seed and the size, so expansion order does not matter.
+type ScheduleGen struct {
+	N, T int
+}
+
+// NewScheduleGen builds a generator for a system of n processes with
+// resilience bound t.
+func NewScheduleGen(n, t int) ScheduleGen { return ScheduleGen{N: n, T: t} }
+
+// Expand turns one family into its concrete schedules.
+func (g ScheduleGen) Expand(f Family) ([]Schedule, error) {
+	variants := f.Variants
+	if variants <= 0 {
+		variants = 1
+	}
+	start := f.Start
+	if start <= 0 {
+		start = 100
+	}
+	spacing := f.Spacing
+	if spacing <= 0 {
+		spacing = 200
+	}
+	window := f.Window
+	if window <= 0 {
+		window = 1000
+	}
+	count := f.Count
+	switch f.Kind {
+	case KindStaggered, KindClustered, KindCascade:
+		if count <= 0 {
+			count = g.T
+		}
+		if count < 1 || count > g.T {
+			return nil, fmt.Errorf("adversary: family %q crashes %d processes, allowed 1..t=%d", f.Kind, count, g.T)
+		}
+	case KindPartition:
+		if count <= 0 {
+			count = g.N / 2
+		}
+		if count < 1 || count >= g.N {
+			return nil, fmt.Errorf("adversary: partition block of %d out of range 1..%d", count, g.N-1)
+		}
+	case KindSilence:
+		if count <= 0 {
+			count = g.T
+		}
+		if count < 1 || count >= g.N {
+			return nil, fmt.Errorf("adversary: silent region of %d out of range 1..%d", count, g.N-1)
+		}
+	default:
+		return nil, fmt.Errorf("adversary: unknown schedule family kind %q", f.Kind)
+	}
+
+	out := make([]Schedule, 0, variants)
+	for v := 0; v < variants; v++ {
+		r := newDraw(f.Seed, int64(v), int64(g.N), int64(g.T), kindSalt(f.Kind))
+		// The seed is part of the name: two same-kind families in one
+		// matrix must yield distinct pattern labels, or report consumers
+		// grouping by pattern would silently merge their cells.
+		s := Schedule{Name: fmt.Sprintf("%s-c%d-s%d-v%d", f.Kind, count, f.Seed, v)}
+		switch f.Kind {
+		case KindStaggered:
+			for i, p := range r.draw(count, g.N) {
+				jitter := sim.Time(r.intn(int(spacing)/2 + 1))
+				s.Crashes = append(s.Crashes, Crash{P: p, At: start + sim.Time(i)*spacing + jitter})
+			}
+		case KindClustered:
+			base := 1 + r.intn(g.N-count+1)
+			for i := 0; i < count; i++ {
+				s.Crashes = append(s.Crashes, Crash{P: ids.ProcID(base + i), At: start})
+			}
+		case KindCascade:
+			gap := sim.Time(1)
+			at := start
+			for _, p := range r.draw(count, g.N) {
+				s.Crashes = append(s.Crashes, Crash{P: p, At: at})
+				at += spacing * gap
+				gap *= 2
+			}
+		case KindPartition:
+			block := ids.NewSet(r.draw(count, g.N)...)
+			rest := ids.FullSet(g.N).Minus(block)
+			s.Holds = []sim.Hold{
+				{From: block, To: rest, Since: start, Until: start + window},
+				{From: rest, To: block, Since: start, Until: start + window},
+			}
+		case KindSilence:
+			region := ids.NewSet(r.draw(count, g.N)...)
+			s.Holds = []sim.Hold{
+				{From: region, To: ids.FullSet(g.N), Since: start, Until: start + window},
+			}
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ExpandAll expands a family list in order into one schedule list.
+func (g ScheduleGen) ExpandAll(fams []Family) ([]Schedule, error) {
+	var out []Schedule
+	for _, f := range fams {
+		ss, err := g.Expand(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ss...)
+	}
+	return out, nil
+}
+
+// kindSalt folds a kind name into the draw seed so two families
+// differing only in kind draw different victims.
+func kindSalt(kind string) int64 {
+	var h int64 = 17
+	for i := 0; i < len(kind); i++ {
+		h = h*31 + int64(kind[i])
+	}
+	return h
+}
+
+// draw is the generator's deterministic randomness: a splitmix64
+// stream seeded by folding the family parameters. Identical inputs
+// yield identical streams on every platform — the property the
+// byte-reproducible reports rest on.
+type draw struct {
+	state uint64
+}
+
+func newDraw(keys ...int64) *draw {
+	h := uint64(0x243f6a8885a308d3)
+	for _, k := range keys {
+		h = smix(h ^ uint64(k))
+	}
+	return &draw{state: h}
+}
+
+func smix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (r *draw) next() uint64 {
+	r.state = smix(r.state)
+	return r.state
+}
+
+// intn returns a value in [0, n).
+func (r *draw) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// draw picks count distinct process ids from 1..n (a partial
+// Fisher–Yates over the identity space), in draw order.
+func (r *draw) draw(count, n int) []ids.ProcID {
+	pool := make([]ids.ProcID, n)
+	for i := range pool {
+		pool[i] = ids.ProcID(i + 1)
+	}
+	out := make([]ids.ProcID, count)
+	for i := 0; i < count; i++ {
+		j := i + r.intn(n-i)
+		pool[i], pool[j] = pool[j], pool[i]
+		out[i] = pool[i]
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package adversary
+
+import (
+	"reflect"
+	"testing"
+
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// TestExpandDeterministic: expansion is a pure function of
+// (family, n, t) — repeated expansions are deep-equal, and expansion
+// order across families does not matter.
+func TestExpandDeterministic(t *testing.T) {
+	g := NewScheduleGen(16, 5)
+	fams := []Family{
+		{Kind: KindStaggered, Count: 3, Variants: 4, Seed: 7},
+		{Kind: KindClustered, Count: 2, Variants: 2, Seed: 7},
+		{Kind: KindCascade, Variants: 3, Seed: 9},
+		{Kind: KindPartition, Count: 5, Variants: 2, Seed: 1},
+		{Kind: KindSilence, Count: 2, Variants: 2, Seed: 2},
+	}
+	first, err := g.ExpandAll(fams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := g.ExpandAll(fams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("repeated expansion differs")
+	}
+	// Reversed family order: each family's own schedules are unchanged.
+	rev := []Family{fams[4], fams[0]}
+	got, err := g.ExpandAll(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	silCount := fams[4].Variants
+	if !reflect.DeepEqual(got[silCount:], first[:fams[0].Variants]) {
+		t.Fatal("expansion depends on family order")
+	}
+}
+
+// TestExpandShapes checks each kind's structural contract.
+func TestExpandShapes(t *testing.T) {
+	const n, tt = 12, 4
+	g := NewScheduleGen(n, tt)
+
+	t.Run("staggered", func(t *testing.T) {
+		ss, err := g.Expand(Family{Kind: KindStaggered, Count: 3, Variants: 5, Seed: 3, Start: 100, Spacing: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ss) != 5 {
+			t.Fatalf("got %d variants", len(ss))
+		}
+		for _, s := range ss {
+			if len(s.Crashes) != 3 || len(s.Holds) != 0 {
+				t.Fatalf("schedule %s: %d crashes, %d holds", s.Name, len(s.Crashes), len(s.Holds))
+			}
+			seen := map[ids.ProcID]bool{}
+			for i, c := range s.Crashes {
+				if seen[c.P] {
+					t.Fatalf("%s crashes %v twice", s.Name, c.P)
+				}
+				seen[c.P] = true
+				lo := sim.Time(100 + i*200)
+				if c.At < lo || c.At > lo+100 {
+					t.Fatalf("%s crash %d at %d outside [%d,%d]", s.Name, i, c.At, lo, lo+100)
+				}
+			}
+		}
+	})
+
+	t.Run("clustered", func(t *testing.T) {
+		ss, err := g.Expand(Family{Kind: KindClustered, Count: 4, Variants: 3, Seed: 5, Start: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range ss {
+			if len(s.Crashes) != 4 {
+				t.Fatalf("%s has %d crashes", s.Name, len(s.Crashes))
+			}
+			for i, c := range s.Crashes {
+				if c.At != 300 {
+					t.Fatalf("%s crash at %d, want simultaneous 300", s.Name, c.At)
+				}
+				if i > 0 && c.P != s.Crashes[i-1].P+1 {
+					t.Fatalf("%s victims not contiguous: %v", s.Name, s.Crashes)
+				}
+			}
+		}
+	})
+
+	t.Run("cascade", func(t *testing.T) {
+		ss, err := g.Expand(Family{Kind: KindCascade, Count: 3, Seed: 1, Start: 100, Spacing: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []sim.Time{100, 150, 250} // Start + Spacing·(2^i − 1)
+		for i, c := range ss[0].Crashes {
+			if c.At != want[i] {
+				t.Fatalf("cascade crash %d at %d, want %d", i, c.At, want[i])
+			}
+		}
+	})
+
+	t.Run("partition", func(t *testing.T) {
+		ss, err := g.Expand(Family{Kind: KindPartition, Count: 5, Seed: 2, Start: 400, Window: 600})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := ss[0]
+		if len(s.Crashes) != 0 || len(s.Holds) != 2 {
+			t.Fatalf("partition: %d crashes, %d holds", len(s.Crashes), len(s.Holds))
+		}
+		a, b := s.Holds[0], s.Holds[1]
+		if !a.From.Equal(b.To) || !a.To.Equal(b.From) {
+			t.Fatal("partition holds are not symmetric")
+		}
+		if a.From.Intersects(a.To) {
+			t.Fatal("partition blocks overlap")
+		}
+		if got := a.From.Size() + a.To.Size(); got != n {
+			t.Fatalf("partition blocks cover %d of %d", got, n)
+		}
+		for _, h := range s.Holds {
+			if h.Since != 400 || h.Until != 1000 {
+				t.Fatalf("partition window [%d,%d), want [400,1000)", h.Since, h.Until)
+			}
+		}
+	})
+
+	t.Run("silence", func(t *testing.T) {
+		ss, err := g.Expand(Family{Kind: KindSilence, Count: 2, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := ss[0]
+		if len(s.Holds) != 1 || s.Holds[0].From.Size() != 2 || !s.Holds[0].To.Equal(ids.FullSet(n)) {
+			t.Fatalf("silence schedule malformed: %+v", s)
+		}
+	})
+}
+
+// TestExpandVariantsDiffer: variants of a drawing family are not all
+// identical (the generator actually varies the draw).
+func TestExpandVariantsDiffer(t *testing.T) {
+	g := NewScheduleGen(32, 10)
+	ss, err := g.Expand(Family{Kind: KindStaggered, Count: 5, Variants: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := false
+	for _, s := range ss[1:] {
+		if !reflect.DeepEqual(s.Crashes, ss[0].Crashes) {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("all 6 staggered variants drew identical schedules")
+	}
+}
+
+// TestExpandRejects: invalid families fail fast with a clear error.
+func TestExpandRejects(t *testing.T) {
+	g := NewScheduleGen(8, 3)
+	bad := []Family{
+		{Kind: "meteor-strike"},
+		{Kind: KindStaggered, Count: 4},  // > t
+		{Kind: KindClustered, Count: -2}, // negative explicit count is still > t after no defaulting
+		{Kind: KindPartition, Count: 8},  // no processes left on the other side
+		{Kind: KindSilence, Count: 9},    // larger than the system
+	}
+	// A negative count defaults like zero, so drop the case that ends up
+	// valid and assert the rest reject.
+	for i, f := range bad {
+		if f.Count < 0 {
+			continue
+		}
+		if _, err := g.Expand(f); err == nil {
+			t.Errorf("family %d (%+v) accepted", i, f)
+		}
+	}
+	// Crash-family expansion with t = 0 has no one to crash.
+	if _, err := NewScheduleGen(8, 0).Expand(Family{Kind: KindStaggered}); err == nil {
+		t.Error("staggered family with t=0 accepted")
+	}
+}
+
+// TestExpandedSchedulesRun: every generated schedule is a valid sim
+// configuration — crash counts respect t, holds validate, and a run
+// completes.
+func TestExpandedSchedulesRun(t *testing.T) {
+	const n, tt = 10, 3
+	g := NewScheduleGen(n, tt)
+	fams := []Family{
+		{Kind: KindStaggered, Variants: 2, Seed: 1},
+		{Kind: KindClustered, Count: 2, Seed: 2},
+		{Kind: KindCascade, Count: 2, Seed: 3},
+		{Kind: KindPartition, Seed: 4},
+		{Kind: KindSilence, Seed: 5},
+	}
+	ss, err := g.ExpandAll(fams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ss {
+		crashes := make(map[ids.ProcID]sim.Time, len(s.Crashes))
+		for _, c := range s.Crashes {
+			crashes[c.P] = c.At
+		}
+		cfg := sim.Config{N: n, T: tt, Seed: 1, MaxSteps: 3_000, Crashes: crashes, Holds: s.Holds}
+		sys, err := sim.New(cfg)
+		if err != nil {
+			t.Fatalf("schedule %s rejected by sim: %v", s.Name, err)
+		}
+		sys.Run(nil)
+	}
+}

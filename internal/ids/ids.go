@@ -1,9 +1,11 @@
 // Package ids provides process identities and identity sets for the
 // failure-detector simulations.
 //
-// Processes are numbered 1..n as in the paper. Sets are bit sets capped at
-// 64 members, which is far beyond the scale the simulations run at
-// (n ≤ 16) while keeping set algebra allocation-free.
+// Processes are numbered 1..n as in the paper. Sets are fixed-width
+// multi-word bit sets capped at MaxProcs members — wide enough for the
+// large-n sweep matrices (n up to 256) while keeping set algebra a
+// value-type operation: no heap allocation, comparable, copied by
+// assignment.
 package ids
 
 import (
@@ -14,7 +16,11 @@ import (
 )
 
 // MaxProcs is the largest number of processes a Set can hold.
-const MaxProcs = 64
+const MaxProcs = 256
+
+// SetWords is the number of 64-bit words backing a Set. Exported so the
+// scheduler can size its own process masks to match.
+const SetWords = MaxProcs / 64
 
 // ProcID identifies a process. Valid IDs are 1..n; 0 is "no process".
 type ProcID int
@@ -30,10 +36,11 @@ func (p ProcID) String() string {
 	return fmt.Sprintf("p%d", int(p))
 }
 
-// Set is an immutable-by-convention bit set of process identities.
-// The zero value is the empty set and is ready to use.
+// Set is an immutable-by-convention bit set of process identities:
+// process p occupies bit (p−1)&63 of word (p−1)>>6. The zero value is
+// the empty set and is ready to use.
 type Set struct {
-	bits uint64
+	w [SetWords]uint64
 }
 
 // EmptySet returns the empty set. Equivalent to Set{} but reads better.
@@ -55,13 +62,14 @@ func FullSet(n int) Set {
 	if n < 0 || n > MaxProcs {
 		panic(fmt.Sprintf("ids: FullSet(%d) out of range", n))
 	}
-	if n == 0 {
-		return Set{}
+	var s Set
+	for i := 0; i < n>>6; i++ {
+		s.w[i] = ^uint64(0)
 	}
-	if n == MaxProcs {
-		return Set{bits: ^uint64(0)}
+	if rest := uint(n & 63); rest != 0 {
+		s.w[n>>6] = (uint64(1) << rest) - 1
 	}
-	return Set{bits: (uint64(1) << n) - 1}
+	return s
 }
 
 func checkID(p ProcID) {
@@ -73,13 +81,15 @@ func checkID(p ProcID) {
 // Add returns s ∪ {p}.
 func (s Set) Add(p ProcID) Set {
 	checkID(p)
-	return Set{bits: s.bits | 1<<(uint(p)-1)}
+	s.w[(p-1)>>6] |= 1 << (uint(p-1) & 63)
+	return s
 }
 
 // Remove returns s ∖ {p}.
 func (s Set) Remove(p ProcID) Set {
 	checkID(p)
-	return Set{bits: s.bits &^ (1 << (uint(p) - 1))}
+	s.w[(p-1)>>6] &^= 1 << (uint(p-1) & 63)
+	return s
 }
 
 // Contains reports whether p ∈ s.
@@ -87,57 +97,100 @@ func (s Set) Contains(p ProcID) bool {
 	if p < 1 || int(p) > MaxProcs {
 		return false
 	}
-	return s.bits&(1<<(uint(p)-1)) != 0
+	return s.w[(p-1)>>6]&(1<<(uint(p-1)&63)) != 0
 }
 
 // Size returns |s|.
-func (s Set) Size() int { return bits.OnesCount64(s.bits) }
+func (s Set) Size() int {
+	n := 0
+	for _, w := range s.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
 
 // IsEmpty reports whether s = ∅.
-func (s Set) IsEmpty() bool { return s.bits == 0 }
+func (s Set) IsEmpty() bool {
+	var u uint64
+	for _, w := range s.w {
+		u |= w
+	}
+	return u == 0
+}
 
 // Union returns s ∪ o.
-func (s Set) Union(o Set) Set { return Set{bits: s.bits | o.bits} }
+func (s Set) Union(o Set) Set {
+	for i := range s.w {
+		s.w[i] |= o.w[i]
+	}
+	return s
+}
 
 // Intersect returns s ∩ o.
-func (s Set) Intersect(o Set) Set { return Set{bits: s.bits & o.bits} }
+func (s Set) Intersect(o Set) Set {
+	for i := range s.w {
+		s.w[i] &= o.w[i]
+	}
+	return s
+}
 
 // Minus returns s ∖ o.
-func (s Set) Minus(o Set) Set { return Set{bits: s.bits &^ o.bits} }
+func (s Set) Minus(o Set) Set {
+	for i := range s.w {
+		s.w[i] &^= o.w[i]
+	}
+	return s
+}
 
 // Equal reports whether s = o.
-func (s Set) Equal(o Set) bool { return s.bits == o.bits }
+func (s Set) Equal(o Set) bool { return s.w == o.w }
 
 // SubsetOf reports whether s ⊆ o.
-func (s Set) SubsetOf(o Set) bool { return s.bits&^o.bits == 0 }
+func (s Set) SubsetOf(o Set) bool {
+	var u uint64
+	for i := range s.w {
+		u |= s.w[i] &^ o.w[i]
+	}
+	return u == 0
+}
 
 // Intersects reports whether s ∩ o ≠ ∅.
-func (s Set) Intersects(o Set) bool { return s.bits&o.bits != 0 }
+func (s Set) Intersects(o Set) bool {
+	var u uint64
+	for i := range s.w {
+		u |= s.w[i] & o.w[i]
+	}
+	return u != 0
+}
 
 // Min returns the smallest identity in s, or None if s is empty.
 func (s Set) Min() ProcID {
-	if s.bits == 0 {
-		return None
+	for i, w := range s.w {
+		if w != 0 {
+			return ProcID(i<<6 + bits.TrailingZeros64(w) + 1)
+		}
 	}
-	return ProcID(bits.TrailingZeros64(s.bits) + 1)
+	return None
 }
 
 // Max returns the largest identity in s, or None if s is empty.
 func (s Set) Max() ProcID {
-	if s.bits == 0 {
-		return None
+	for i := SetWords - 1; i >= 0; i-- {
+		if w := s.w[i]; w != 0 {
+			return ProcID(i<<6 + 64 - bits.LeadingZeros64(w))
+		}
 	}
-	return ProcID(64 - bits.LeadingZeros64(s.bits))
+	return None
 }
 
 // Members returns the identities in ascending order.
 func (s Set) Members() []ProcID {
 	out := make([]ProcID, 0, s.Size())
-	b := s.bits
-	for b != 0 {
-		i := bits.TrailingZeros64(b)
-		out = append(out, ProcID(i+1))
-		b &^= 1 << uint(i)
+	for i, w := range s.w {
+		base := i << 6
+		for ; w != 0; w &= w - 1 {
+			out = append(out, ProcID(base+bits.TrailingZeros64(w)+1))
+		}
 	}
 	return out
 }
@@ -145,27 +198,34 @@ func (s Set) Members() []ProcID {
 // ForEach calls fn on each member in ascending order until fn returns
 // false or the set is exhausted.
 func (s Set) ForEach(fn func(ProcID) bool) {
-	b := s.bits
-	for b != 0 {
-		i := bits.TrailingZeros64(b)
-		if !fn(ProcID(i + 1)) {
-			return
+	for i, w := range s.w {
+		base := i << 6
+		for ; w != 0; w &= w - 1 {
+			if !fn(ProcID(base + bits.TrailingZeros64(w) + 1)) {
+				return
+			}
 		}
-		b &^= 1 << uint(i)
 	}
 }
 
 // Nth returns the i-th smallest member (0-based), or None if i is out of
 // range.
 func (s Set) Nth(i int) ProcID {
-	if i < 0 || i >= s.Size() {
+	if i < 0 {
 		return None
 	}
-	b := s.bits
-	for ; i > 0; i-- {
-		b &^= 1 << uint(bits.TrailingZeros64(b))
+	for j, w := range s.w {
+		c := bits.OnesCount64(w)
+		if i >= c {
+			i -= c
+			continue
+		}
+		for ; i > 0; i-- {
+			w &= w - 1
+		}
+		return ProcID(j<<6 + bits.TrailingZeros64(w) + 1)
 	}
-	return ProcID(bits.TrailingZeros64(b) + 1)
+	return None
 }
 
 // Index returns the 0-based rank of p within s (position in ascending
@@ -174,8 +234,12 @@ func (s Set) Index(p ProcID) int {
 	if !s.Contains(p) {
 		return -1
 	}
-	mask := uint64(1)<<(uint(p)-1) - 1
-	return bits.OnesCount64(s.bits & mask)
+	word, bit := int(p-1)>>6, uint(p-1)&63
+	rank := bits.OnesCount64(s.w[word] & (uint64(1)<<bit - 1))
+	for i := 0; i < word; i++ {
+		rank += bits.OnesCount64(s.w[i])
+	}
+	return rank
 }
 
 // String renders the set as {p1,p3,...}.

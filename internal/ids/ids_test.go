@@ -55,7 +55,7 @@ func TestSetZeroValue(t *testing.T) {
 }
 
 func TestFullSet(t *testing.T) {
-	for _, n := range []int{0, 1, 5, 63, 64} {
+	for _, n := range []int{0, 1, 5, 63, 64, 65, 127, 128, 255, 256} {
 		s := FullSet(n)
 		if got := s.Size(); got != n {
 			t.Errorf("FullSet(%d).Size() = %d", n, got)
@@ -63,7 +63,7 @@ func TestFullSet(t *testing.T) {
 		if n > 0 && (!s.Contains(1) || !s.Contains(ProcID(n))) {
 			t.Errorf("FullSet(%d) missing endpoints", n)
 		}
-		if n < 64 && s.Contains(ProcID(n+1)) {
+		if n < MaxProcs && s.Contains(ProcID(n+1)) {
 			t.Errorf("FullSet(%d) contains %d", n, n+1)
 		}
 	}
@@ -133,7 +133,7 @@ func TestForEachEarlyStop(t *testing.T) {
 }
 
 func TestCheckIDPanics(t *testing.T) {
-	for _, p := range []ProcID{0, -1, 65} {
+	for _, p := range []ProcID{0, -1, MaxProcs + 1} {
 		func() {
 			defer func() {
 				if recover() == nil {

@@ -1,0 +1,59 @@
+package ids
+
+import "testing"
+
+// FuzzSetOps drives a Set and a bool-slice model through the same
+// operation stream decoded from the fuzz input and checks they agree.
+// Each pair of input bytes is one operation: the first selects the op,
+// the second the process id (mapped into 1..MaxProcs).
+//
+// Run as a plain test it replays the seed corpus; `go test -fuzz
+// FuzzSetOps ./internal/ids` explores further.
+func FuzzSetOps(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 64, 0, 65, 2, 64, 1, 255})
+	f.Add([]byte{0, 63, 0, 64, 0, 127, 0, 128, 0, 255, 3, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Set
+		model := make([]bool, MaxProcs+1)
+		for i := 0; i+1 < len(data); i += 2 {
+			p := ProcID(int(data[i+1])%MaxProcs + 1)
+			switch data[i] % 4 {
+			case 0:
+				s = s.Add(p)
+				model[p] = true
+			case 1:
+				s = s.Remove(p)
+				model[p] = false
+			case 2:
+				if got := s.Contains(p); got != model[p] {
+					t.Fatalf("Contains(%d) = %v, model says %v", p, got, model[p])
+				}
+			case 3:
+				s = s.Intersect(FullSet(int(p)))
+				for q := int(p) + 1; q <= MaxProcs; q++ {
+					model[q] = false
+				}
+			}
+		}
+		size := 0
+		var members []ProcID
+		for p := 1; p <= MaxProcs; p++ {
+			if model[p] {
+				size++
+				members = append(members, ProcID(p))
+			}
+		}
+		if got := s.Size(); got != size {
+			t.Fatalf("Size() = %d, model has %d members", got, size)
+		}
+		if !NewSet(members...).Equal(s) {
+			t.Fatalf("model members %v do not rebuild the set %s", members, s)
+		}
+		for i, p := range members {
+			if s.Nth(i) != p || s.Index(p) != i {
+				t.Fatalf("rank queries diverge at member %d", i)
+			}
+		}
+	})
+}

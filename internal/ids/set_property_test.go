@@ -1,0 +1,157 @@
+package ids
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// wordBoundarySizes are the n values the multi-word representation must
+// get right: one bit below, at and above each 64-bit word boundary, plus
+// the cap itself.
+var wordBoundarySizes = []int{63, 64, 65, 127, 128, 255, 256}
+
+// denseRandomSet draws a set over {1..n} with density d.
+func denseRandomSet(r *rand.Rand, n int, d float64) Set {
+	var s Set
+	for p := 1; p <= n; p++ {
+		if r.Float64() < d {
+			s = s.Add(ProcID(p))
+		}
+	}
+	return s
+}
+
+// refSet is the model implementation the properties are checked against:
+// a plain bool slice indexed by process id.
+type refSet []bool
+
+func toRef(s Set, n int) refSet {
+	r := make(refSet, n+1)
+	s.ForEach(func(p ProcID) bool {
+		r[p] = true
+		return true
+	})
+	return r
+}
+
+// TestSetAcrossWordBoundaries checks the full Set API against the model
+// implementation at every boundary size: algebra, membership, rank
+// queries and iteration all agree with the bool-slice reference.
+func TestSetAcrossWordBoundaries(t *testing.T) {
+	r := rand.New(rand.NewSource(20260729))
+	for _, n := range wordBoundarySizes {
+		for round := 0; round < 40; round++ {
+			a := denseRandomSet(r, n, 0.3)
+			b := denseRandomSet(r, n, 0.7)
+			ra, rb := toRef(a, n), toRef(b, n)
+
+			u, i, m := a.Union(b), a.Intersect(b), a.Minus(b)
+			size := 0
+			for p := 1; p <= n; p++ {
+				id := ProcID(p)
+				if got, want := u.Contains(id), ra[p] || rb[p]; got != want {
+					t.Fatalf("n=%d Union.Contains(%d) = %v, want %v", n, p, got, want)
+				}
+				if got, want := i.Contains(id), ra[p] && rb[p]; got != want {
+					t.Fatalf("n=%d Intersect.Contains(%d) = %v, want %v", n, p, got, want)
+				}
+				if got, want := m.Contains(id), ra[p] && !rb[p]; got != want {
+					t.Fatalf("n=%d Minus.Contains(%d) = %v, want %v", n, p, got, want)
+				}
+				if ra[p] {
+					size++
+				}
+			}
+			if got := a.Size(); got != size {
+				t.Fatalf("n=%d Size() = %d, want %d", n, got, size)
+			}
+			if u.Size()+i.Size() != a.Size()+b.Size() {
+				t.Fatalf("n=%d inclusion–exclusion violated", n)
+			}
+			if !i.SubsetOf(a) || !i.SubsetOf(b) || !a.SubsetOf(u) || !b.SubsetOf(u) {
+				t.Fatalf("n=%d subset laws violated", n)
+			}
+			if a.Intersects(b) != !i.IsEmpty() {
+				t.Fatalf("n=%d Intersects disagrees with Intersect", n)
+			}
+			if !m.Union(i).Equal(a) {
+				t.Fatalf("n=%d Minus/Union does not reassemble", n)
+			}
+		}
+	}
+}
+
+// TestSetIterationRoundTrips checks Members/ForEach/Nth/Index/Min/Max
+// consistency at the boundary sizes: ascending order, rank inverses, and
+// Members round-tripping through NewSet.
+func TestSetIterationRoundTrips(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range wordBoundarySizes {
+		for round := 0; round < 40; round++ {
+			s := denseRandomSet(r, n, 0.4)
+			members := s.Members()
+			if len(members) != s.Size() {
+				t.Fatalf("n=%d len(Members) = %d, Size = %d", n, len(members), s.Size())
+			}
+			for i, p := range members {
+				if i > 0 && members[i-1] >= p {
+					t.Fatalf("n=%d Members not strictly ascending at %d", n, i)
+				}
+				if got := s.Nth(i); got != p {
+					t.Fatalf("n=%d Nth(%d) = %d, want %d", n, i, got, p)
+				}
+				if got := s.Index(p); got != i {
+					t.Fatalf("n=%d Index(%d) = %d, want %d", n, p, got, i)
+				}
+			}
+			if got := s.Nth(len(members)); got != None {
+				t.Fatalf("n=%d Nth past the end = %d", n, got)
+			}
+			if !NewSet(members...).Equal(s) {
+				t.Fatalf("n=%d Members does not round-trip through NewSet", n)
+			}
+			var walked []ProcID
+			s.ForEach(func(p ProcID) bool {
+				walked = append(walked, p)
+				return true
+			})
+			if len(walked) != len(members) {
+				t.Fatalf("n=%d ForEach walked %d of %d members", n, len(walked), len(members))
+			}
+			for i := range walked {
+				if walked[i] != members[i] {
+					t.Fatalf("n=%d ForEach order diverges at %d", n, i)
+				}
+			}
+			if len(members) > 0 {
+				if s.Min() != members[0] || s.Max() != members[len(members)-1] {
+					t.Fatalf("n=%d Min/Max = %d/%d, want %d/%d",
+						n, s.Min(), s.Max(), members[0], members[len(members)-1])
+				}
+			} else if s.Min() != None || s.Max() != None {
+				t.Fatalf("n=%d empty set has Min/Max", n)
+			}
+		}
+	}
+}
+
+// TestSetSingleBitPerBoundary pins the exact bit placement at every
+// boundary id: a singleton behaves identically wherever its word is.
+func TestSetSingleBitPerBoundary(t *testing.T) {
+	for _, n := range wordBoundarySizes {
+		p := ProcID(n)
+		s := NewSet(p)
+		if s.Size() != 1 || !s.Contains(p) || s.Min() != p || s.Max() != p {
+			t.Fatalf("singleton {%d} misbehaves: %s", p, s)
+		}
+		if s.Contains(p-1) || (n < MaxProcs && s.Contains(p+1)) {
+			t.Fatalf("singleton {%d} bleeds into neighbours", p)
+		}
+		if got := s.Remove(p); !got.IsEmpty() {
+			t.Fatalf("Remove(%d) left %s", p, got)
+		}
+		if got := FullSet(n).Minus(s).Size(); got != n-1 {
+			t.Fatalf("FullSet(%d) minus {%d} has size %d", n, p, got)
+		}
+	}
+}

@@ -169,7 +169,7 @@ func (e *Env) StepUntil(wake Time) (Message, bool) {
 		// next one due, dispatch says so and the loop continues without
 		// any goroutine switch at all. The dispatcher clears the parked
 		// bit before resuming a process.
-		s.parkedSet |= 1 << uint(p.id-1)
+		s.parkedSet.set(p.id)
 		s.deadlines[p.id] = wake
 		if s.running {
 			if s.dispatch(p) {

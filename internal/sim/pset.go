@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"math/bits"
+
+	"fdgrid/internal/ids"
+)
+
+// pset is the scheduler's process bit mask (process id p occupies bit
+// (p−1)&63 of word (p−1)>>6), sized to ids.MaxProcs so the scheduler
+// scales with the identity space. It is run-token state like everything
+// else in the scheduler: plain words, no atomics.
+//
+// The methods mirror the handful of operations the token protocol
+// needs; the per-word loops compile to a few instructions and keep the
+// tick path free of allocations whatever n is.
+type pset [ids.SetWords]uint64
+
+// set marks process id.
+func (m *pset) set(id ids.ProcID) { m[(id-1)>>6] |= 1 << (uint(id-1) & 63) }
+
+// clear unmarks process id.
+func (m *pset) clear(id ids.ProcID) { m[(id-1)>>6] &^= 1 << (uint(id-1) & 63) }
+
+// has reports whether process id is marked.
+func (m *pset) has(id ids.ProcID) bool { return m[(id-1)>>6]&(1<<(uint(id-1)&63)) != 0 }
+
+// first returns the smallest marked id, or ids.None when the mask is
+// empty — the scheduler wakes due processes in identity order. width is
+// the live word count (pwords): ids above it cannot be marked, so the
+// scan stops there; at n ≤ 64 this is the single-word fast path the
+// tick benchmarks measure.
+func (m *pset) first(width int) ids.ProcID {
+	for i := 0; i < width; i++ {
+		if w := m[i]; w != 0 {
+			return ids.ProcID(i<<6 + bits.TrailingZeros64(w) + 1)
+		}
+	}
+	return ids.None
+}
+
+// intersects reports whether the two masks share a marked process
+// within the first width words.
+func (m *pset) intersects(o *pset, width int) bool {
+	var u uint64
+	for i := 0; i < width; i++ {
+		u |= m[i] & o[i]
+	}
+	return u != 0
+}
+
+// pwords returns the number of pset words live for n processes.
+func pwords(n int) int { return (n + 63) >> 6 }

@@ -71,12 +71,18 @@ type Time int64
 const Never Time = 1<<62 - 1
 
 // Hold delays matching messages: a message sent from a process in From to
-// a process in To is not deliverable before Until. Holds are the scripted
-// half of the adversary, used by the irreducibility experiments
-// (e.g. "delay every message from E between τ0 and τ1").
+// a process in To at or after Since is not deliverable before Until.
+// Since is the window start (zero means "from the beginning of the
+// run"); the window closes at Until, so a message sent at Until or later
+// passes unhindered, and a message already in flight when the window
+// opens is not retroactively held. Holds are the scripted half of the
+// adversary, used by the irreducibility experiments ("delay every
+// message from E until the horizon") and the generated partition-style
+// adversaries (per-(from,to) windows).
 type Hold struct {
 	From  ids.Set
 	To    ids.Set
+	Since Time `json:"Since,omitempty"`
 	Until Time
 }
 
@@ -126,6 +132,14 @@ func (c Config) validate() error {
 	}
 	if c.Bandwidth < 0 {
 		return fmt.Errorf("sim: Bandwidth=%d must be non-negative", c.Bandwidth)
+	}
+	for _, h := range c.Holds {
+		if h.Since < 0 {
+			return fmt.Errorf("sim: hold window starts at negative time %d", h.Since)
+		}
+		if h.Since > 0 && h.Since >= h.Until {
+			return fmt.Errorf("sim: hold window [%d,%d) is empty", h.Since, h.Until)
+		}
 	}
 	return nil
 }
@@ -227,7 +241,7 @@ type System struct {
 	// run finished.
 	running      bool
 	reaping      bool
-	due          uint64
+	due          pset
 	stop         func() bool
 	stoppedEarly bool
 	ended        bool
@@ -242,18 +256,23 @@ type System struct {
 	heldTimes  []Time
 	bucketPool [][]envelope
 
-	// holdUntil is the per-(from,to) release matrix precomputed from
-	// Config.Holds at New time, flattened to (N+1)*(N+1); nil when the
-	// run scripts no holds, which is the send fast path.
+	// holdUntil is the per-(from,to) release matrix precomputed from the
+	// Since=0 entries of Config.Holds at New time, flattened to
+	// (N+1)*(N+1); nil when the run scripts no such holds, which is the
+	// send fast path. holdWins carries the windowed (Since>0) holds per
+	// (from,to) pair, consulted against the send time; nil when no hold
+	// is windowed.
 	holdUntil []Time
+	holdWins  [][]holdWin
 
 	// Wake accounting: parkedSet marks parked processes (bit id-1), set
 	// by the parking process and cleared by the scheduler on wake;
 	// deadlines mirrors each parked process's declared wake time; and
 	// inboxDue marks parked processes the delivery phase enqueued
 	// messages for.
-	parkedSet uint64
-	inboxDue  uint64
+	parkedSet pset
+	inboxDue  pset
+	pw        int    // live pset words for this run's N (scan bound)
 	deadlines []Time // index 1..N; valid while the proc's parkedSet bit is set
 
 	// inflight counts accepted-but-undelivered messages. Atomic: it is
@@ -340,6 +359,7 @@ func New(cfg Config) (*System, error) {
 		yield:   make(chan struct{}),
 		reapAck: make(chan struct{}),
 	}
+	s.pw = pwords(cfg.N)
 	s.deadlines = make([]Time, cfg.N+1)
 	for _, at := range cfg.Crashes {
 		s.crashTimes = append(s.crashTimes, at)
@@ -350,22 +370,48 @@ func New(cfg Config) (*System, error) {
 		s.procs[i] = newProc(ids.ProcID(i), s)
 	}
 	if len(cfg.Holds) > 0 {
-		// Precompute the release matrix so the send path is one array
-		// index instead of an O(|Holds|) set scan per message.
+		// Precompute the release structures so the send path is one
+		// array index (run-from-start holds) plus, only when windows are
+		// scripted, a short per-pair window scan — instead of an
+		// O(|Holds|) set scan per message.
+		windowed := false
+		for _, h := range cfg.Holds {
+			if h.Since > 0 {
+				windowed = true
+				break
+			}
+		}
 		s.holdUntil = make([]Time, (cfg.N+1)*(cfg.N+1))
+		if windowed {
+			s.holdWins = make([][]holdWin, (cfg.N+1)*(cfg.N+1))
+		}
 		for from := 1; from <= cfg.N; from++ {
 			for to := 1; to <= cfg.N; to++ {
+				idx := from*(cfg.N+1) + to
 				var nb Time
 				for _, h := range cfg.Holds {
-					if h.From.Contains(ids.ProcID(from)) && h.To.Contains(ids.ProcID(to)) && h.Until > nb {
-						nb = h.Until
+					if !h.From.Contains(ids.ProcID(from)) || !h.To.Contains(ids.ProcID(to)) {
+						continue
+					}
+					if h.Since == 0 {
+						if h.Until > nb {
+							nb = h.Until
+						}
+					} else {
+						s.holdWins[idx] = append(s.holdWins[idx], holdWin{since: h.Since, until: h.Until})
 					}
 				}
-				s.holdUntil[from*(cfg.N+1)+to] = nb
+				s.holdUntil[idx] = nb
 			}
 		}
 	}
 	return s, nil
+}
+
+// holdWin is one precompiled windowed hold for a (from,to) pair: a
+// message sent at τ ∈ [since, until) is not deliverable before until.
+type holdWin struct {
+	since, until Time
 }
 
 // MustNew is New for configurations known statically valid (tests, benches).
@@ -451,7 +497,7 @@ func (s *System) launch(p *Proc) {
 			// panicking inside the tick phases this process was running):
 			// clear it, or teardown would try to resume a goroutine that
 			// no longer exists.
-			s.parkedSet &^= 1 << uint(p.id-1)
+			s.parkedSet.clear(p.id)
 			s.releaseToken()
 			s.wg.Done()
 		}()
@@ -490,12 +536,10 @@ func (s *System) dispatch(self *Proc) bool {
 			s.yield <- struct{}{} // the run is over: token home to Run
 			return false
 		}
-		if s.due != 0 {
-			id := bits.TrailingZeros64(s.due) + 1
-			bit := uint64(1) << uint(id-1)
-			s.due &^= bit
-			s.parkedSet &^= bit
-			s.inboxDue &^= bit
+		if id := s.due.first(s.pw); id != ids.None {
+			s.due.clear(id)
+			s.parkedSet.clear(id)
+			s.inboxDue.clear(id)
 			p := s.procs[id]
 			if p == self {
 				return true
@@ -519,7 +563,7 @@ func (s *System) killAt(p, self *Proc) {
 	if p == self {
 		return
 	}
-	if s.parkedSet&(1<<uint(p.id-1)) != 0 {
+	if s.parkedSet.has(p.id) {
 		s.reap(p)
 	}
 }
@@ -530,9 +574,8 @@ func (s *System) reap(p *Proc) {
 	if p.exited {
 		return // its goroutine is gone; nothing to unwind
 	}
-	bit := uint64(1) << uint(p.id-1)
-	s.parkedSet &^= bit
-	s.inboxDue &^= bit
+	s.parkedSet.clear(p.id)
+	s.inboxDue.clear(p.id)
 	s.reaping = true
 	p.resume <- struct{}{}
 	<-s.reapAck
@@ -567,7 +610,7 @@ func (s *System) Run(stop func() bool) Report {
 	for i := 1; i <= s.cfg.N; i++ {
 		p := s.procs[i]
 		p.dead = true
-		if s.parkedSet&(1<<uint(i-1)) != 0 {
+		if s.parkedSet.has(p.id) {
 			s.reap(p)
 		}
 	}
@@ -596,12 +639,10 @@ func (s *System) schedule(stop func() bool) bool {
 		if s.panicked || s.ended {
 			return s.stoppedEarly
 		}
-		if s.due != 0 {
-			id := bits.TrailingZeros64(s.due) + 1
-			bit := uint64(1) << uint(id-1)
-			s.due &^= bit
-			s.parkedSet &^= bit
-			s.inboxDue &^= bit
+		if id := s.due.first(s.pw); id != ids.None {
+			s.due.clear(id)
+			s.parkedSet.clear(id)
+			s.inboxDue.clear(id)
 			s.procs[id].resume <- struct{}{}
 			<-s.yield // token comes home only when the run ends
 			return s.stoppedEarly
@@ -662,11 +703,14 @@ func (s *System) tick(self *Proc) bool {
 	// is due. The dispatch chain wakes them one after another.
 	next := s.nextTime(now)
 	s.now.Store(int64(next))
-	due := s.parkedSet & s.inboxDue
-	for mask := s.parkedSet; mask != 0; mask &= mask - 1 {
-		id := bits.TrailingZeros64(mask) + 1
-		if s.deadlines[id] <= next {
-			due |= 1 << uint(id-1)
+	var due pset
+	for w := 0; w < s.pw; w++ {
+		due[w] = s.parkedSet[w] & s.inboxDue[w]
+		base := w << 6
+		for word := s.parkedSet[w]; word != 0; word &= word - 1 {
+			if s.deadlines[base+bits.TrailingZeros64(word)+1] <= next {
+				due[w] |= word & -word
+			}
 		}
 	}
 	s.due = due
@@ -696,7 +740,7 @@ func (s *System) deliverPhase(now Time) {
 		m.DeliveredAt = now
 		s.procs[m.To].inbox = append(s.procs[m.To].inbox, m)
 		s.metrics.countDelivered(m.Tag)
-		s.inboxDue |= 1 << uint(m.To-1)
+		s.inboxDue.set(m.To)
 	}
 }
 
@@ -754,12 +798,15 @@ func (s *System) nextTime(now Time) Time {
 			next = ct
 		}
 	}
-	if s.parkedSet&s.inboxDue != 0 {
+	if s.parkedSet.intersects(&s.inboxDue, s.pw) {
 		return now + 1
 	}
-	for mask := s.parkedSet; mask != 0; mask &= mask - 1 {
-		if d := s.deadlines[bits.TrailingZeros64(mask)+1]; d < next {
-			next = d
+	for w := 0; w < s.pw; w++ {
+		base := w << 6
+		for word := s.parkedSet[w]; word != 0; word &= word - 1 {
+			if d := s.deadlines[base+bits.TrailingZeros64(word)+1]; d < next {
+				next = d
+			}
 		}
 	}
 	if s.hintLen.Load() > 0 {
@@ -791,7 +838,15 @@ func (s *System) send(m Message) {
 	}
 	var nb Time
 	if s.holdUntil != nil {
-		nb = s.holdUntil[int(m.From)*(s.cfg.N+1)+int(m.To)]
+		idx := int(m.From)*(s.cfg.N+1) + int(m.To)
+		nb = s.holdUntil[idx]
+		if s.holdWins != nil {
+			for _, w := range s.holdWins[idx] {
+				if w.since <= now && now < w.until && w.until > nb {
+					nb = w.until
+				}
+			}
+		}
 	}
 	m.SentAt = now
 	s.arrivals = append(s.arrivals, envelope{msg: m, notBefore: nb})

@@ -15,7 +15,9 @@ func TestConfigValidate(t *testing.T) {
 	}
 	bad := []Config{
 		{N: 0, T: 0, MaxSteps: 10},
-		{N: 70, T: 1, MaxSteps: 10},
+		{N: ids.MaxProcs + 1, T: 1, MaxSteps: 10},
+		{N: 4, T: 1, MaxSteps: 10, Holds: []Hold{{From: ids.NewSet(1), To: ids.NewSet(2), Since: -1, Until: 5}}},
+		{N: 4, T: 1, MaxSteps: 10, Holds: []Hold{{From: ids.NewSet(1), To: ids.NewSet(2), Since: 7, Until: 5}}},
 		{N: 4, T: 4, MaxSteps: 10},
 		{N: 4, T: -1, MaxSteps: 10},
 		{N: 4, T: 1, MaxSteps: 0},

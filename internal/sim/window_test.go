@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"testing"
+
+	"fdgrid/internal/ids"
+)
+
+// TestHoldWindowDelaysOnlyWindowSends: a windowed hold [Since, Until)
+// applies at send time — a message sent before the window opens or
+// after it closes passes unhindered; one sent inside the window is not
+// deliverable before Until.
+func TestHoldWindowDelaysOnlyWindowSends(t *testing.T) {
+	cfg := Config{
+		N: 2, T: 0, Seed: 1, MaxSteps: 400, Bandwidth: 4,
+		Holds: []Hold{{From: ids.NewSet(1), To: ids.NewSet(2), Since: 50, Until: 200}},
+	}
+	sys := MustNew(cfg)
+	tag := Intern("test.window")
+	type rec struct{ sent, delivered Time }
+	var got []rec
+	sys.Spawn(1, func(env *Env) {
+		for _, at := range []Time{10, 60, 210} {
+			for env.Now() < at {
+				env.StepUntil(at)
+			}
+			env.Send(2, tag, nil)
+		}
+		for {
+			env.StepUntil(Never)
+		}
+	})
+	sys.Spawn(2, func(env *Env) {
+		for {
+			if m, ok := env.StepUntil(Never); ok {
+				got = append(got, rec{m.SentAt, m.DeliveredAt})
+			}
+		}
+	})
+	sys.Run(nil)
+
+	if len(got) != 3 {
+		t.Fatalf("delivered %d messages, want 3: %+v", len(got), got)
+	}
+	for _, r := range got {
+		switch r.sent {
+		case 10, 210: // outside the window: prompt delivery
+			if r.delivered >= r.sent+40 {
+				t.Errorf("message sent at %d outside the window delivered only at %d", r.sent, r.delivered)
+			}
+		case 60: // inside the window: held to the release tick
+			if r.delivered < 200 {
+				t.Errorf("message sent at %d inside [50,200) delivered early at %d", r.sent, r.delivered)
+			}
+		default:
+			t.Errorf("unexpected send time %d", r.sent)
+		}
+	}
+}
+
+// TestHoldWindowAndRunFromStartCompose: a Since=0 hold and a windowed
+// hold on the same pair compose — each send gets the latest release
+// among the holds covering its send time.
+func TestHoldWindowAndRunFromStartCompose(t *testing.T) {
+	cfg := Config{
+		N: 2, T: 0, Seed: 1, MaxSteps: 400, Bandwidth: 4,
+		Holds: []Hold{
+			{From: ids.NewSet(1), To: ids.NewSet(2), Until: 100},
+			{From: ids.NewSet(1), To: ids.NewSet(2), Since: 5, Until: 150},
+		},
+	}
+	sys := MustNew(cfg)
+	tag := Intern("test.compose")
+	var delivered Time
+	sys.Spawn(1, func(env *Env) {
+		for env.Now() < 10 {
+			env.StepUntil(10)
+		}
+		env.Send(2, tag, nil)
+		for {
+			env.StepUntil(Never)
+		}
+	})
+	sys.Spawn(2, func(env *Env) {
+		for {
+			if m, ok := env.StepUntil(Never); ok {
+				delivered = m.DeliveredAt
+			}
+		}
+	})
+	sys.Run(nil)
+	if delivered < 150 {
+		t.Fatalf("composed holds released at %d, want ≥ 150 (the later window)", delivered)
+	}
+}
+
+// TestRunAtLargeN exercises the scheduler's multi-word process masks: a
+// relay chain across every id up to ids.MaxProcs, so parking, waking,
+// delivery and due-set selection all cross the 64-, 128- and 192-bit
+// word boundaries.
+func TestRunAtLargeN(t *testing.T) {
+	const n = ids.MaxProcs
+	cfg := Config{N: n, T: 0, Seed: 3, MaxSteps: 100_000}
+	sys := MustNew(cfg)
+	tag := Intern("test.relay")
+	var reached ids.ProcID
+	for p := 1; p <= n; p++ {
+		sys.Spawn(ids.ProcID(p), func(env *Env) {
+			if env.ID() == 1 {
+				env.Send(2, tag, nil)
+				return
+			}
+			for {
+				if _, ok := env.StepUntil(Never); ok {
+					reached = env.ID()
+					if next := env.ID() + 1; int(next) <= n {
+						env.Send(next, tag, nil)
+					}
+					return
+				}
+			}
+		})
+	}
+	sys.Run(func() bool { return int(reached) == n })
+	if int(reached) != n {
+		t.Fatalf("relay reached only p%d of p%d", reached, n)
+	}
+}
+
+// TestCrashBeyondWord64: an in-run crash of a high-id process is applied
+// and observed exactly as for low ids.
+func TestCrashBeyondWord64(t *testing.T) {
+	const n = 130
+	cfg := Config{
+		N: n, T: 1, Seed: 7, MaxSteps: 2_000,
+		Crashes: map[ids.ProcID]Time{129: 100},
+	}
+	sys := MustNew(cfg)
+	tag := Intern("test.ping")
+	var after int
+	sys.Spawn(129, func(env *Env) {
+		for {
+			env.Step()
+			env.Send(1, tag, nil)
+		}
+	})
+	sys.Spawn(1, func(env *Env) {
+		for {
+			if m, ok := env.StepUntil(Never); ok && m.SentAt >= 100 {
+				after++
+			}
+		}
+	})
+	sys.Run(nil)
+	if !sys.Pattern().Crashed(129, 100) {
+		t.Fatal("pattern does not record the crash")
+	}
+	if after != 0 {
+		t.Fatalf("%d messages accepted from p129 at or after its crash tick", after)
+	}
+}

@@ -49,12 +49,38 @@ func runnerFor(name string) (Runner, bool) {
 	return r, ok
 }
 
+// Shard selects a deterministic slice of a matrix's cells: shard i of m
+// owns exactly the cells whose index ≡ i (mod m). The zero value means
+// "run everything". m independent invocations with shards 0..m−1
+// together cover the matrix exactly once, and MergeReports recombines
+// their reports into the bytes the unsharded run would have produced —
+// the mechanism behind CI fan-out and multi-machine sweeps.
+type Shard struct {
+	Index, Count int
+}
+
+// enabled reports whether the shard actually restricts the run.
+func (s Shard) enabled() bool { return s.Count > 0 }
+
+func (s Shard) validate() error {
+	if !s.enabled() {
+		return nil
+	}
+	if s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("sweep: shard %d/%d out of range", s.Index, s.Count)
+	}
+	return nil
+}
+
 // Options configures a sweep run.
 type Options struct {
 	// Workers is the worker-pool size; 0 means GOMAXPROCS.
 	Workers int
 	// Runner overrides the registry lookup (tests).
 	Runner Runner
+	// Shard restricts the run to one deterministic slice of the cells
+	// (zero value: run all).
+	Shard Shard
 }
 
 func (o Options) workers() int {
@@ -70,9 +96,24 @@ func (o Options) workers() int {
 // identical whatever the worker count. A panicking cell (a protocol bug)
 // is contained and reported as an errored cell, not a crashed sweep.
 func Run(m Matrix, opt Options) (*Report, error) {
-	cells, err := m.Cells()
+	all, err := m.Cells()
 	if err != nil {
 		return nil, err
+	}
+	if err := opt.Shard.validate(); err != nil {
+		return nil, err
+	}
+	cells := all
+	var shardMeta *ShardMeta
+	if opt.Shard.enabled() {
+		owned := make([]Cell, 0, len(all)/opt.Shard.Count+1)
+		for _, c := range all {
+			if c.Index%opt.Shard.Count == opt.Shard.Index {
+				owned = append(owned, c)
+			}
+		}
+		cells = owned
+		shardMeta = &ShardMeta{Index: opt.Shard.Index, Count: opt.Shard.Count, TotalCells: len(all)}
 	}
 	runner := opt.Runner
 	if runner == nil {
@@ -119,7 +160,7 @@ func Run(m Matrix, opt Options) (*Report, error) {
 	}
 	wg.Wait()
 
-	rep := &Report{Matrix: m, Cells: results, WallNS: time.Since(start).Nanoseconds()}
+	rep := &Report{Matrix: m, Cells: results, Shard: shardMeta, WallNS: time.Since(start).Nanoseconds()}
 	for i := range results {
 		switch results[i].Verdict {
 		case Pass:

@@ -15,6 +15,7 @@ package sweep
 import (
 	"fmt"
 
+	"fdgrid/internal/adversary"
 	"fdgrid/internal/core"
 	"fdgrid/internal/ids"
 	"fdgrid/internal/sim"
@@ -99,6 +100,13 @@ type Matrix struct {
 	Patterns []CrashPattern `json:"patterns,omitempty"`
 	Combos   []Combo        `json:"combos,omitempty"`
 
+	// AdversaryFamilies declares generated adversary dimension points:
+	// each family expands, per size, into concrete crash patterns via
+	// adversary.ScheduleGen (deterministically — the same matrix always
+	// sweeps the same schedules). Generated patterns follow the explicit
+	// Patterns in the pattern dimension.
+	AdversaryFamilies []adversary.Family `json:"adversary_families,omitempty"`
+
 	// GST and MaxSteps apply to every cell; Bandwidth 0 means "n".
 	GST       sim.Time `json:"gst"`
 	MaxSteps  sim.Time `json:"max_steps"`
@@ -176,11 +184,40 @@ func (c *Cell) System() (*sim.System, error) {
 	return sim.New(cfg)
 }
 
+// patternsFor resolves the matrix's pattern dimension for one size: the
+// explicit Patterns followed by the expansion of every adversary
+// family. Sizes expand independently because generated victims and
+// block splits depend on (n, t).
+func (m *Matrix) patternsFor(size Size) ([]CrashPattern, error) {
+	patterns := m.Patterns
+	if len(m.AdversaryFamilies) > 0 {
+		gen := adversary.NewScheduleGen(size.N, size.T)
+		schedules, err := gen.ExpandAll(m.AdversaryFamilies)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: matrix %q size n=%d: %w", m.Name, size.N, err)
+		}
+		// Clone before appending: the expansion must not scribble on the
+		// caller's Patterns backing array across sizes.
+		patterns = append(make([]CrashPattern, 0, len(m.Patterns)+len(schedules)), m.Patterns...)
+		for _, s := range schedules {
+			p := CrashPattern{Name: s.Name, Holds: s.Holds}
+			for _, c := range s.Crashes {
+				p.Crashes = append(p.Crashes, CrashSpec{Proc: int(c.P), At: c.At})
+			}
+			patterns = append(patterns, p)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []CrashPattern{{Name: "none"}}
+	}
+	return patterns, nil
+}
+
 // Cells expands the matrix into its cross product, in the documented
-// deterministic order: sizes (outermost) × patterns × combos × seeds
-// (innermost). Empty Patterns/Combos expand as a single zero-value
-// point; empty Seeds or Sizes is an error — a sweep with no runs is
-// almost always a bug in the matrix definition.
+// deterministic order: sizes (outermost) × patterns (explicit, then
+// generated) × combos × seeds (innermost). Empty Patterns/Combos expand
+// as a single zero-value point; empty Seeds or Sizes is an error — a
+// sweep with no runs is almost always a bug in the matrix definition.
 func (m *Matrix) Cells() ([]Cell, error) {
 	if m.Protocol == "" {
 		return nil, fmt.Errorf("sweep: matrix %q has no protocol", m.Name)
@@ -194,16 +231,16 @@ func (m *Matrix) Cells() ([]Cell, error) {
 	if m.MaxSteps <= 0 {
 		return nil, fmt.Errorf("sweep: matrix %q has MaxSteps=%d", m.Name, m.MaxSteps)
 	}
-	patterns := m.Patterns
-	if len(patterns) == 0 {
-		patterns = []CrashPattern{{Name: "none"}}
-	}
 	combos := m.Combos
 	if len(combos) == 0 {
 		combos = []Combo{{}}
 	}
-	cells := make([]Cell, 0, len(m.Sizes)*len(patterns)*len(combos)*len(m.Seeds))
+	cells := make([]Cell, 0, len(m.Sizes)*(len(m.Patterns)+1)*len(combos)*len(m.Seeds))
 	for _, size := range m.Sizes {
+		patterns, err := m.patternsFor(size)
+		if err != nil {
+			return nil, err
+		}
 		for _, pat := range patterns {
 			for _, combo := range combos {
 				for _, seed := range m.Seeds {

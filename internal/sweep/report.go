@@ -1,8 +1,10 @@
 package sweep
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"fdgrid/internal/sim"
 )
@@ -68,9 +70,19 @@ func (r *CellResult) fail(why string) {
 	}
 }
 
-// Report aggregates a matrix run.
+// ShardMeta records which slice of the matrix a sharded run covered.
+type ShardMeta struct {
+	Index      int `json:"index"`
+	Count      int `json:"count"`
+	TotalCells int `json:"total_cells"`
+}
+
+// Report aggregates a matrix run. A sharded run's report carries only
+// its own cells plus Shard metadata; MergeReports recombines a full
+// shard family into the unsharded report.
 type Report struct {
 	Matrix  Matrix       `json:"matrix"`
+	Shard   *ShardMeta   `json:"shard,omitempty"`
 	Cells   []CellResult `json:"cells"`
 	Passed  int          `json:"passed"`
 	Failed  int          `json:"failed"`
@@ -92,6 +104,83 @@ func (r *Report) CanonicalJSON() ([]byte, error) {
 
 // Summary is a one-line human rendering.
 func (r *Report) Summary() string {
-	return fmt.Sprintf("%s: %d/%d pass (%d fail, %d error)",
-		r.Matrix.Name, r.Passed, len(r.Cells), r.Failed, r.Errored)
+	shard := ""
+	if r.Shard != nil {
+		shard = fmt.Sprintf(" [shard %d/%d]", r.Shard.Index, r.Shard.Count)
+	}
+	return fmt.Sprintf("%s%s: %d/%d pass (%d fail, %d error)",
+		r.Matrix.Name, shard, r.Passed, len(r.Cells), r.Failed, r.Errored)
+}
+
+// MergeReports recombines the reports of a complete shard family into
+// the report the unsharded run would have produced: same matrix, cells
+// reassembled in index order, tallies recomputed, shard metadata
+// dropped. Canonical JSON of the merged report is byte-identical to the
+// unsharded run's — the property the sharded CI sweep verifies.
+//
+// Every part must cover the same matrix, and together the parts must
+// cover each cell index exactly once. The same-matrix check compares
+// the matrices' JSON forms — as strong as the report artifact itself:
+// fields that serialize lossily (ids.Set renders as {}, so explicit
+// Hold From/To sets are not in the bytes) cannot be distinguished here
+// either. Shards of the same invocation, the intended use, always
+// carry identical matrix bytes.
+func MergeReports(parts []*Report) (*Report, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("sweep: merge of zero reports")
+	}
+	refMatrix, err := json.Marshal(parts[0].Matrix)
+	if err != nil {
+		return nil, err
+	}
+	total := -1
+	if parts[0].Shard != nil {
+		total = parts[0].Shard.TotalCells
+	}
+	seen := make(map[int]bool)
+	merged := &Report{Matrix: parts[0].Matrix}
+	for i, p := range parts {
+		m, err := json.Marshal(p.Matrix)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(m, refMatrix) {
+			return nil, fmt.Errorf("sweep: merge part %d covers matrix %q, part 0 covers %q", i, p.Matrix.Name, parts[0].Matrix.Name)
+		}
+		if p.Shard != nil {
+			if total >= 0 && p.Shard.TotalCells != total {
+				return nil, fmt.Errorf("sweep: merge part %d expects %d total cells, part 0 expects %d", i, p.Shard.TotalCells, total)
+			}
+			total = p.Shard.TotalCells
+		}
+		for _, c := range p.Cells {
+			if seen[c.Index] {
+				return nil, fmt.Errorf("sweep: merge saw cell %d twice", c.Index)
+			}
+			seen[c.Index] = true
+			merged.Cells = append(merged.Cells, c)
+			merged.WallNS += c.WallNS
+		}
+	}
+	if total < 0 {
+		total = len(merged.Cells) // no shard metadata: trust the parts
+	}
+	if len(merged.Cells) != total {
+		return nil, fmt.Errorf("sweep: merge covers %d of %d cells", len(merged.Cells), total)
+	}
+	sort.Slice(merged.Cells, func(i, j int) bool { return merged.Cells[i].Index < merged.Cells[j].Index })
+	for i, c := range merged.Cells {
+		if c.Index != i {
+			return nil, fmt.Errorf("sweep: merge is missing cell %d", i)
+		}
+		switch c.Verdict {
+		case Pass:
+			merged.Passed++
+		case Fail:
+			merged.Failed++
+		default:
+			merged.Errored++
+		}
+	}
+	return merged, nil
 }
