@@ -1,8 +1,9 @@
 # fdgrid — build, verify and smoke-test the reproduction.
 #
-#   make ci          vet + build + race tests + sweep smoke run (the full gate)
+#   make ci          vet + build + race tests + sweep smoke + examples (the full gate)
 #   make test        plain unit tests
 #   make smoke       short parallel sweep through cmd/experiments
+#   make examples    go run every runnable example (drift gate)
 #   make bench       benchmarks (5 counts) + sweep wall time → $(BENCH_OUT)
 #   make bench-gate  scheduler micro-benchmarks vs the committed baseline
 #
@@ -12,9 +13,9 @@
 GO ?= go
 BENCH_OUT ?= BENCH_PR3.json
 
-.PHONY: ci vet build test race smoke bench bench-smoke bench-gate clean
+.PHONY: ci vet build test race smoke examples bench bench-smoke bench-gate clean
 
-ci: vet build race smoke
+ci: vet build race smoke examples
 
 # vet also enforces gofmt: a formatting diff fails the target with the
 # offending files listed.
@@ -42,6 +43,17 @@ smoke: build
 		echo "smoke sweep has FAILED verdicts:"; grep -B1 "FAILED" /tmp/fdgrid-smoke.md; exit 1; \
 	fi
 	@echo "smoke sweep clean: /tmp/fdgrid-smoke.md"
+
+# Examples smoke: run every example binary end to end so example drift
+# (an API change the examples were not updated for, a run that starts
+# failing) breaks the gate instead of rotting silently. Examples print
+# to stdout; only their exit codes gate.
+examples: build
+	@for d in examples/*/; do \
+		echo "go run ./$$d"; \
+		$(GO) run ./$$d >/dev/null || exit 1; \
+	done
+	@echo "examples clean"
 
 # Full benchmark pass: every benchmark 5 times (benchstat wants repeated
 # samples; a duration-based benchtime lets the nanosecond scheduler

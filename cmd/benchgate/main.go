@@ -110,8 +110,26 @@ func main() {
 		fmt.Printf("%s %-48s %10.1f → %10.1f ns/op  (%+.1f%%)\n",
 			verdict, name, baseMed, cur, (ratio-1)*100)
 	}
-	if gated == 0 {
+	// Cross-check the other direction: every gated baseline benchmark
+	// must appear in the fresh run. Iterating fresh names alone would let
+	// a deleted (or renamed, or accidentally skipped) benchmark slip
+	// through — removing BenchmarkSchedulerTick must fail the gate, not
+	// silently shrink it.
+	missing := 0
+	for _, name := range sortedNames(rec.Benchmarks) {
+		if !sel.MatchString(name) || benchrec.Median(rec.Benchmarks[name].NsOp) == 0 {
+			continue
+		}
+		if b, ok := fresh[name]; !ok || benchrec.Median(b.NsOp) == 0 {
+			fmt.Printf("MISS %-48s gated in the baseline but absent from the fresh run\n", name)
+			missing++
+		}
+	}
+	if gated == 0 && missing == 0 {
 		fatal(fmt.Errorf("benchgate: no benchmark matched %q with a baseline — the gate gated nothing", *match))
+	}
+	if missing > 0 {
+		fatal(fmt.Errorf("benchgate: %d gated baseline benchmarks missing from the fresh run", missing))
 	}
 	if failed > 0 {
 		fatal(fmt.Errorf("benchgate: %d of %d gated benchmarks regressed beyond +%.0f%%", failed, gated, *threshold*100))

@@ -1,0 +1,391 @@
+package adversary
+
+import (
+	"fmt"
+
+	"fdgrid/internal/fd"
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+// This file makes the *oracle* generative, the way schedulegen.go made
+// the crash schedule generative: a sweep declares an OracleFamily — a
+// kind of oracle misbehaviour plus its knobs — and OracleGen expands it
+// deterministically into concrete oracle scripts. The paper's classes
+// (S_x, ◇S_x, Ω_z, the φ/Ψ families) are defined by what their oracles
+// may do, so sweeping over generated oracle behaviours explores exactly
+// the dimension the definitions quantify over: which hostile histories
+// an algorithm must survive.
+//
+// Two script shapes come out of an expansion:
+//
+//   - Timeline scripts (leader-flap, scope-churn): explicit LeaderStep /
+//     SuspectStep timelines for the scripted drivers in internal/fd. A
+//     timeline is pattern-blind — it fixes every output before knowing
+//     which processes the cell's adversary crashes — so whether it stays
+//     inside its declared class depends on the failure pattern, and
+//     Conformance decides it per cell with the fd/check.go checkers.
+//   - Parameter scripts (anarchy-burst, late-stab): stabilization time,
+//     anarchy intensity and epoch overrides for the ground-truth
+//     oracles, which are pattern-aware and stay in class by
+//     construction for any legal parameters.
+//
+// Expansion is a pure function of (family, n, t): the same declaration
+// always yields the same scripts, so sweep reports over generated
+// oracles stay byte-reproducible and shardable.
+
+// OracleFamily kinds understood by OracleGen.Expand.
+const (
+	// OracleLeaderFlap generates Ω_z timelines that flap: every Period
+	// ticks from Start the served leader set is redrawn (occasionally
+	// with per-process disagreement), until the script settles at
+	// StabilizeAt on the Settle set (drawn if empty).
+	OracleLeaderFlap = "leader-flap"
+	// OracleScopeChurn generates ◇S_x timelines whose protected scope
+	// churns: spurious suspicion sets are redrawn every Period ticks,
+	// then the script settles hostile — everyone outside the final scope
+	// Q (|Q| = x) suspects the protected leader forever.
+	OracleScopeChurn = "scope-churn"
+	// OracleAnarchyBurst generates parameter scripts with a seeded
+	// intensity ramp: variant v runs its anarchy at a rate ramping
+	// toward RatePermille, over short epochs, stabilizing only after the
+	// burst window Start + Flaps·Period.
+	OracleAnarchyBurst = "anarchy-burst"
+	// OracleLateStab generates parameter scripts whose stabilization
+	// time ramps across variants: variant v stabilizes at
+	// Start + v·Ramp — the "how late can the oracle behave badly"
+	// sweep.
+	OracleLateStab = "late-stab"
+)
+
+// OracleFamily declares one generated oracle dimension point: a script
+// kind, the class it claims to stay inside (Z for Ω_z timelines, X for
+// ◇S_x timelines), and its knobs. Zero knobs default per kind; Variants
+// is how many concrete scripts the family expands into (default 1),
+// each drawn deterministically from Seed.
+type OracleFamily struct {
+	Kind     string `json:"kind"`
+	Z        int    `json:"z,omitempty"` // declared Ω_z bound (leader scripts); 0 = 1
+	X        int    `json:"x,omitempty"` // declared ◇S_x scope (suspect scripts); 0 = t+1
+	Variants int    `json:"variants,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+
+	Start       sim.Time `json:"start,omitempty"`        // first misbehaviour event; 0 = 50
+	Period      sim.Time `json:"period,omitempty"`       // flap / burst spacing; 0 = 80
+	Flaps       int      `json:"flaps,omitempty"`        // timeline segments before settling; 0 = 6
+	StabilizeAt sim.Time `json:"stabilize_at,omitempty"` // settle tick; 0 = Start + Flaps·Period
+	Ramp        sim.Time `json:"ramp,omitempty"`         // late-stab increment per variant; 0 = 200
+
+	// Settle pins the set the timeline settles on (the final trusted set
+	// of a leader script, the protected scope of a suspect script).
+	// Empty = drawn from the seed. Pin it when the matrix's crash
+	// patterns must not intersect it.
+	Settle []int `json:"settle,omitempty"`
+
+	RatePermille int      `json:"rate_permille,omitempty"` // anarchy-burst peak intensity; 0 = 400
+	Epoch        sim.Time `json:"epoch,omitempty"`         // anarchy epoch override; 0 = leave default
+}
+
+// OracleScript is one concrete generated oracle: either an explicit
+// timeline (Leader or Suspect non-empty) or a parameter configuration
+// for a ground-truth oracle. The zero value means "no generated oracle"
+// — the cell runs whatever oracle its protocol builds by default.
+type OracleScript struct {
+	Name string `json:"name,omitempty"`
+	Kind string `json:"kind,omitempty"`
+	Z    int    `json:"z,omitempty"`
+	X    int    `json:"x,omitempty"`
+
+	Leader  []fd.LeaderStep  `json:"leader,omitempty"`
+	Suspect []fd.SuspectStep `json:"suspect,omitempty"`
+
+	StabilizeAt  sim.Time `json:"stabilize_at,omitempty"`
+	RatePermille int      `json:"rate_permille,omitempty"`
+	Epoch        sim.Time `json:"epoch,omitempty"`
+}
+
+// None reports whether the script is the zero "no generated oracle"
+// point.
+func (s *OracleScript) None() bool { return s.Name == "" }
+
+// IsTimeline reports whether the script carries an explicit output
+// timeline (as opposed to ground-truth oracle parameters).
+func (s *OracleScript) IsTimeline() bool { return len(s.Leader) > 0 || len(s.Suspect) > 0 }
+
+// Class renders the declared class label for reports.
+func (s *OracleScript) Class() string {
+	switch {
+	case len(s.Leader) > 0:
+		return fmt.Sprintf("omega-%d", s.Z)
+	case len(s.Suspect) > 0:
+		return fmt.Sprintf("evt-s-%d", s.X)
+	default:
+		return "ground-truth"
+	}
+}
+
+// Options renders a parameter script as ground-truth oracle options.
+func (s *OracleScript) Options() []fd.Option {
+	opts := []fd.Option{fd.WithStabilizeAt(s.StabilizeAt)}
+	if s.RatePermille > 0 {
+		opts = append(opts, fd.WithAnarchyRate(float64(s.RatePermille)/1000))
+	}
+	if s.Epoch > 0 {
+		opts = append(opts, fd.WithEpoch(s.Epoch))
+	}
+	return opts
+}
+
+// conformMargin is the stable suffix a script must leave between its
+// settling and the cell horizon for the eventual property to count as
+// observed.
+const conformMargin sim.Time = 64
+
+// Conformance checks the script against its declared class for one
+// failure pattern and horizon, via the fd/check.go checkers. It returns
+// nil for the zero script (no generated oracle, nothing to check).
+func (s *OracleScript) Conformance(pat *sim.Pattern, horizon sim.Time) error {
+	switch {
+	case s.None():
+		return nil
+	case len(s.Leader) > 0:
+		return fd.CheckLeaderScript(s.Leader, pat, s.Z, horizon, conformMargin)
+	case len(s.Suspect) > 0:
+		return fd.CheckSuspectScript(s.Suspect, pat, s.X, false, horizon, conformMargin)
+	default:
+		return fd.CheckOracleParams(s.StabilizeAt, s.RatePermille, s.Epoch, horizon, conformMargin)
+	}
+}
+
+// OracleGen expands oracle families against one system size, carrying no
+// hidden state (expansion order does not matter).
+type OracleGen struct {
+	N, T int
+}
+
+// NewOracleGen builds a generator for a system of n processes with
+// resilience bound t.
+func NewOracleGen(n, t int) OracleGen { return OracleGen{N: n, T: t} }
+
+// Expand turns one family into its concrete scripts.
+func (g OracleGen) Expand(f OracleFamily) ([]OracleScript, error) {
+	variants := f.Variants
+	if variants <= 0 {
+		variants = 1
+	}
+	start := f.Start
+	if start <= 0 {
+		start = 50
+	}
+	period := f.Period
+	if period <= 0 {
+		period = 80
+	}
+	flaps := f.Flaps
+	if flaps <= 0 {
+		flaps = 6
+	}
+	stab := f.StabilizeAt
+	if stab <= 0 {
+		stab = start + sim.Time(flaps)*period
+	}
+	ramp := f.Ramp
+	if ramp <= 0 {
+		ramp = 200
+	}
+	rate := f.RatePermille
+	if rate <= 0 {
+		rate = 400
+	}
+	z := f.Z
+	if z <= 0 {
+		z = 1
+	}
+	x := f.X
+	if x <= 0 {
+		x = g.T + 1
+	}
+	switch f.Kind {
+	case OracleLeaderFlap:
+		if z > g.N {
+			return nil, fmt.Errorf("adversary: oracle family %q declares z=%d > n=%d", f.Kind, z, g.N)
+		}
+	case OracleScopeChurn:
+		if x > g.N {
+			return nil, fmt.Errorf("adversary: oracle family %q declares x=%d > n=%d", f.Kind, x, g.N)
+		}
+	case OracleAnarchyBurst, OracleLateStab:
+		// Parameter scripts: no size-dependent class knob to validate.
+	default:
+		return nil, fmt.Errorf("adversary: unknown oracle family kind %q", f.Kind)
+	}
+	settle, err := g.settleSet(f)
+	if err != nil {
+		return nil, err
+	}
+	// A pinned settle set inconsistent with the declared class knob is a
+	// family-wide configuration error: reject it here, at the altitude
+	// where z/x/member ranges are already validated, instead of failing
+	// every cell's conformance check downstream.
+	if f.Kind == OracleLeaderFlap && !settle.IsEmpty() && settle.Size() > z {
+		return nil, fmt.Errorf("adversary: oracle family %q settle set has %d members > declared z=%d", f.Kind, settle.Size(), z)
+	}
+	if f.Kind == OracleScopeChurn && !settle.IsEmpty() && settle.Size() < x {
+		return nil, fmt.Errorf("adversary: oracle family %q settle scope has %d members < declared x=%d", f.Kind, settle.Size(), x)
+	}
+
+	out := make([]OracleScript, 0, variants)
+	for v := 0; v < variants; v++ {
+		r := newDraw(f.Seed, int64(v), int64(g.N), int64(g.T), kindSalt(f.Kind))
+		s := OracleScript{Kind: f.Kind, Z: z, X: x}
+		switch f.Kind {
+		case OracleLeaderFlap:
+			s.Name = fmt.Sprintf("%s-z%d-s%d-v%d", f.Kind, z, f.Seed, v)
+			s.StabilizeAt = stab
+			s.Leader = g.leaderFlap(r, z, start, period, flaps, stab, settle)
+		case OracleScopeChurn:
+			s.Name = fmt.Sprintf("%s-x%d-s%d-v%d", f.Kind, x, f.Seed, v)
+			s.StabilizeAt = stab
+			s.Suspect = g.scopeChurn(r, x, start, period, flaps, stab, settle)
+		case OracleAnarchyBurst:
+			s.Name = fmt.Sprintf("%s-r%d-s%d-v%d", f.Kind, rate, f.Seed, v)
+			s.StabilizeAt = stab
+			// Seeded intensity ramp: variant v runs at a rate climbing
+			// toward the declared peak, jittered so two variants never
+			// share an anarchy stream.
+			s.RatePermille = rate*(v+1)/variants + r.intn(50)
+			if s.RatePermille > 1000 {
+				s.RatePermille = 1000
+			}
+			s.Epoch = f.Epoch
+			if s.Epoch <= 0 {
+				s.Epoch = 4 + sim.Time(r.intn(8)) // short epochs: bursty churn
+			}
+		case OracleLateStab:
+			s.Name = fmt.Sprintf("%s-s%d-v%d", f.Kind, f.Seed, v)
+			s.StabilizeAt = start + sim.Time(v)*ramp
+			s.RatePermille = f.RatePermille
+			s.Epoch = f.Epoch
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// settleSet resolves the family's pinned settle set (nil when unpinned).
+func (g OracleGen) settleSet(f OracleFamily) (ids.Set, error) {
+	if len(f.Settle) == 0 {
+		return ids.EmptySet(), nil
+	}
+	var s ids.Set
+	for _, p := range f.Settle {
+		if p < 1 || p > g.N {
+			return ids.EmptySet(), fmt.Errorf("adversary: oracle family %q settle member %d outside 1..%d", f.Kind, p, g.N)
+		}
+		s = s.Add(ids.ProcID(p))
+	}
+	return s, nil
+}
+
+// drawSet draws a set of exactly size distinct members of 1..n.
+func (g OracleGen) drawSet(r *draw, size int) ids.Set {
+	var s ids.Set
+	for _, p := range r.draw(size, g.N) {
+		s = s.Add(p)
+	}
+	return s
+}
+
+// leaderFlap builds one flapping Ω_z timeline: flaps redrawn sets (every
+// third flap disagreeing per process), then the settle step.
+func (g OracleGen) leaderFlap(r *draw, z int, start, period sim.Time, flaps int, stab sim.Time, settle ids.Set) []fd.LeaderStep {
+	steps := make([]fd.LeaderStep, 0, flaps+2)
+	steps = append(steps, fd.LeaderStep{At: 0, Common: g.drawSet(r, 1+r.intn(z))})
+	for i := 0; i < flaps; i++ {
+		at := start + sim.Time(i)*period
+		if at >= stab {
+			break
+		}
+		step := fd.LeaderStep{At: at, Common: g.drawSet(r, 1+r.intn(z))}
+		if i%3 == 2 {
+			// Disagreement flap: a couple of drawn readers see their own
+			// set (fewer when the system is smaller than the draw).
+			step.PerProc = map[ids.ProcID]ids.Set{}
+			for _, p := range r.draw(min(2, g.N), g.N) {
+				step.PerProc[p] = g.drawSet(r, 1+r.intn(z))
+			}
+		}
+		steps = append(steps, step)
+	}
+	final := settle
+	if final.IsEmpty() {
+		final = g.drawSet(r, z)
+	}
+	return append(steps, fd.LeaderStep{At: stab, Common: final})
+}
+
+// scopeChurn builds one ◇S_x timeline: churning spurious suspicions,
+// then a hostile settle — the leader ℓ (the settle scope's lowest id)
+// is suspected forever by everyone outside the scope Q, and Q's members
+// read the same set with ℓ removed. Crash completeness must come from
+// the settle set: the script suspects every non-scope process from
+// StabilizeAt on, so any pattern whose faulty processes stay outside
+// the scope conforms.
+func (g OracleGen) scopeChurn(r *draw, x int, start, period sim.Time, flaps int, stab sim.Time, settle ids.Set) []fd.SuspectStep {
+	steps := make([]fd.SuspectStep, 0, flaps+2)
+	steps = append(steps, fd.SuspectStep{At: 0, Common: g.drawSet(r, r.intn(x+1))})
+	for i := 0; i < flaps; i++ {
+		at := start + sim.Time(i)*period
+		if at >= stab {
+			break
+		}
+		step := fd.SuspectStep{At: at, Common: g.drawSet(r, 1+r.intn(g.N-1))}
+		if i%2 == 1 {
+			step.PerProc = map[ids.ProcID]ids.Set{}
+			for _, p := range r.draw(min(2, g.N), g.N) {
+				step.PerProc[p] = g.drawSet(r, r.intn(g.N))
+			}
+		}
+		steps = append(steps, step)
+	}
+	scope := settle
+	if scope.IsEmpty() {
+		scope = g.drawSet(r, x)
+	}
+	leader := scope.Members()[0]
+	// Hostile settle: everyone suspects everything outside the scope,
+	// plus the leader — except the scope's members, who spare ℓ.
+	common := ids.FullSet(g.N).Minus(scope).Add(leader)
+	spared := common.Remove(leader)
+	over := make(map[ids.ProcID]ids.Set, scope.Size())
+	scope.ForEach(func(p ids.ProcID) bool {
+		over[p] = spared
+		return true
+	})
+	return append(steps, fd.SuspectStep{At: stab, Common: common, PerProc: over})
+}
+
+// ExpandAll expands a family list in order into one script list. Script
+// names key report rows (and only the class parameter, seed and variant
+// are part of the name), so two families expanding to the same name —
+// same kind, seed and class knob, differing only in timing — would make
+// distinct dimension points indistinguishable; that is rejected here
+// rather than silently merged downstream.
+func (g OracleGen) ExpandAll(fams []OracleFamily) ([]OracleScript, error) {
+	var out []OracleScript
+	seen := make(map[string]bool)
+	for _, f := range fams {
+		ss, err := g.Expand(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range ss {
+			if seen[s.Name] {
+				return nil, fmt.Errorf("adversary: oracle families expand to duplicate script name %q — give same-kind families distinct seeds", s.Name)
+			}
+			seen[s.Name] = true
+		}
+		out = append(out, ss...)
+	}
+	return out, nil
+}

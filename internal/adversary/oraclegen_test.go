@@ -1,0 +1,225 @@
+package adversary
+
+import (
+	"reflect"
+	"testing"
+
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+func patternOf(t *testing.T, cfg sim.Config) *sim.Pattern {
+	t.Helper()
+	return sim.MustNew(cfg).Pattern()
+}
+
+// TestOracleGenDeterministic: expansion is a pure function of
+// (family, n, t) — two expansions agree structurally, and variants
+// differ from one another.
+func TestOracleGenDeterministic(t *testing.T) {
+	fams := []OracleFamily{
+		{Kind: OracleLeaderFlap, Z: 2, Variants: 3, Seed: 7},
+		{Kind: OracleScopeChurn, X: 3, Variants: 2, Seed: 8},
+		{Kind: OracleAnarchyBurst, Variants: 3, Seed: 9},
+		{Kind: OracleLateStab, Variants: 2, Seed: 10, Start: 100, Ramp: 250},
+	}
+	g := NewOracleGen(16, 7)
+	a, err := g.ExpandAll(fams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.ExpandAll(fams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("expansion is not deterministic")
+	}
+	if len(a) != 10 {
+		t.Fatalf("expanded %d scripts, want 10", len(a))
+	}
+	seen := map[string]bool{}
+	for _, s := range a {
+		if s.None() {
+			t.Fatalf("script %+v is the zero point", s)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate script name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	// Variants of one family must actually differ.
+	if reflect.DeepEqual(a[0].Leader, a[1].Leader) {
+		t.Error("leader-flap variants drew identical timelines")
+	}
+}
+
+// TestLeaderFlapConformance: pinned-settle flap scripts conform exactly
+// when the pattern spares the settle set.
+func TestLeaderFlapConformance(t *testing.T) {
+	g := NewOracleGen(8, 3)
+	scripts, err := g.Expand(OracleFamily{
+		Kind: OracleLeaderFlap, Z: 2, Variants: 2, Seed: 3, Settle: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := sim.Time(4_000)
+	ok := patternOf(t, sim.Config{N: 8, T: 3, Seed: 1, MaxSteps: 10,
+		Crashes: map[ids.ProcID]sim.Time{8: 700}})
+	bad := patternOf(t, sim.Config{N: 8, T: 3, Seed: 1, MaxSteps: 10,
+		Crashes: map[ids.ProcID]sim.Time{1: 50, 2: 60}})
+	for _, s := range scripts {
+		if s.Class() != "omega-2" {
+			t.Errorf("class label %q, want omega-2", s.Class())
+		}
+		if len(s.Leader) == 0 || !s.IsTimeline() {
+			t.Fatalf("script %s has no leader timeline", s.Name)
+		}
+		final := s.Leader[len(s.Leader)-1]
+		if !final.Common.Equal(ids.NewSet(1, 2)) {
+			t.Errorf("script %s settles on %s, want pinned {1,2}", s.Name, final.Common)
+		}
+		if err := s.Conformance(ok, horizon); err != nil {
+			t.Errorf("script %s nonconforming under sparing pattern: %v", s.Name, err)
+		}
+		if err := s.Conformance(bad, horizon); err == nil {
+			t.Errorf("script %s conforms though its settle set crashed", s.Name)
+		}
+	}
+}
+
+// TestScopeChurnConformance: the hostile settle keeps exactly the scope
+// sparing the leader; crashes outside the scope conform, a crash inside
+// the scope breaks completeness.
+func TestScopeChurnConformance(t *testing.T) {
+	g := NewOracleGen(8, 3)
+	scripts, err := g.Expand(OracleFamily{
+		Kind: OracleScopeChurn, X: 3, Variants: 2, Seed: 4, Settle: []int{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := sim.Time(4_000)
+	outside := patternOf(t, sim.Config{N: 8, T: 3, Seed: 1, MaxSteps: 10,
+		Crashes: map[ids.ProcID]sim.Time{7: 300}})
+	inside := patternOf(t, sim.Config{N: 8, T: 3, Seed: 1, MaxSteps: 10,
+		Crashes: map[ids.ProcID]sim.Time{2: 300}})
+	for _, s := range scripts {
+		if s.Class() != "evt-s-3" {
+			t.Errorf("class label %q, want evt-s-3", s.Class())
+		}
+		if err := s.Conformance(outside, horizon); err != nil {
+			t.Errorf("script %s nonconforming with crash outside scope: %v", s.Name, err)
+		}
+		if err := s.Conformance(inside, horizon); err == nil {
+			t.Errorf("script %s conforms though a scope member crashed unsuspected", s.Name)
+		}
+	}
+}
+
+// TestParamScripts: anarchy bursts ramp intensity, late-stab ramps the
+// stabilization time, and both conform for any pattern with room before
+// the horizon.
+func TestParamScripts(t *testing.T) {
+	g := NewOracleGen(32, 6)
+	bursts, err := g.Expand(OracleFamily{Kind: OracleAnarchyBurst, Variants: 3, Seed: 5, RatePermille: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := patternOf(t, sim.Config{N: 32, T: 6, Seed: 1, MaxSteps: 10})
+	last := 0
+	for _, s := range bursts {
+		if s.IsTimeline() {
+			t.Fatalf("%s: burst scripts are parameter scripts", s.Name)
+		}
+		if s.RatePermille <= 0 || s.RatePermille > 1000 {
+			t.Errorf("%s: rate %d out of range", s.Name, s.RatePermille)
+		}
+		if s.RatePermille < last {
+			t.Errorf("%s: intensity ramp not monotone (%d after %d)", s.Name, s.RatePermille, last)
+		}
+		last = s.RatePermille
+		if s.Epoch < 1 {
+			t.Errorf("%s: epoch %d", s.Name, s.Epoch)
+		}
+		if err := s.Conformance(pat, 6_000); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if err := s.Conformance(pat, s.StabilizeAt+1); err == nil {
+			t.Errorf("%s: conforms with no stable suffix", s.Name)
+		}
+	}
+
+	late, err := g.Expand(OracleFamily{Kind: OracleLateStab, Variants: 3, Seed: 6, Start: 400, Ramp: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, s := range late {
+		if want := sim.Time(400 + v*300); s.StabilizeAt != want {
+			t.Errorf("late-stab variant %d stabilizes at %d, want %d", v, s.StabilizeAt, want)
+		}
+		if err := s.Conformance(pat, 6_000); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+// TestExpandAllRejectsDuplicateNames: same-kind same-seed families
+// differing only in timing knobs would collide on script (and schedule)
+// names — report rows would merge distinct dimension points — so both
+// generators refuse the expansion.
+func TestExpandAllRejectsDuplicateNames(t *testing.T) {
+	og := NewOracleGen(8, 3)
+	if _, err := og.ExpandAll([]OracleFamily{
+		{Kind: OracleLeaderFlap, Z: 2, Seed: 7, Period: 80},
+		{Kind: OracleLeaderFlap, Z: 2, Seed: 7, Period: 40},
+	}); err == nil {
+		t.Error("duplicate oracle script names accepted")
+	}
+	sg := NewScheduleGen(8, 3)
+	if _, err := sg.ExpandAll([]Family{
+		{Kind: KindStaggered, Count: 2, Seed: 7, Spacing: 80},
+		{Kind: KindStaggered, Count: 2, Seed: 7, Spacing: 40},
+	}); err == nil {
+		t.Error("duplicate schedule names accepted")
+	}
+	// Distinct seeds keep both legal.
+	if _, err := og.ExpandAll([]OracleFamily{
+		{Kind: OracleLeaderFlap, Z: 2, Seed: 7},
+		{Kind: OracleLeaderFlap, Z: 2, Seed: 8},
+	}); err != nil {
+		t.Errorf("distinct-seed families rejected: %v", err)
+	}
+}
+
+// TestOracleGenDegenerateSize: a legal single-process system expands
+// timeline families without panicking (the disagreement draws clamp to
+// the system size).
+func TestOracleGenDegenerateSize(t *testing.T) {
+	g := NewOracleGen(1, 0)
+	for _, f := range []OracleFamily{
+		{Kind: OracleLeaderFlap, Z: 1, Variants: 2, Seed: 1},
+		{Kind: OracleScopeChurn, X: 1, Variants: 2, Seed: 2},
+	} {
+		if _, err := g.Expand(f); err != nil {
+			t.Errorf("family %+v rejected at n=1: %v", f, err)
+		}
+	}
+}
+
+// TestOracleGenRejects: malformed families fail expansion loudly.
+func TestOracleGenRejects(t *testing.T) {
+	g := NewOracleGen(8, 3)
+	for _, f := range []OracleFamily{
+		{Kind: "no-such-kind"},
+		{Kind: OracleLeaderFlap, Z: 9},
+		{Kind: OracleScopeChurn, X: 9},
+		{Kind: OracleLeaderFlap, Settle: []int{0}},
+		{Kind: OracleLeaderFlap, Settle: []int{9}},
+		{Kind: OracleLeaderFlap, Z: 1, Settle: []int{1, 2}},
+		{Kind: OracleScopeChurn, X: 3, Settle: []int{1, 2}},
+	} {
+		if _, err := g.Expand(f); err == nil {
+			t.Errorf("family %+v accepted", f)
+		}
+	}
+}

@@ -174,13 +174,24 @@ func (g ScheduleGen) Expand(f Family) ([]Schedule, error) {
 	return out, nil
 }
 
-// ExpandAll expands a family list in order into one schedule list.
+// ExpandAll expands a family list in order into one schedule list. Two
+// families expanding to the same schedule name (same kind, count and
+// seed, differing only in timing knobs) would merge distinct pattern
+// dimension points in report consumers grouping by name; that is
+// rejected here rather than silently conflated.
 func (g ScheduleGen) ExpandAll(fams []Family) ([]Schedule, error) {
 	var out []Schedule
+	seen := make(map[string]bool)
 	for _, f := range fams {
 		ss, err := g.Expand(f)
 		if err != nil {
 			return nil, err
+		}
+		for _, s := range ss {
+			if seen[s.Name] {
+				return nil, fmt.Errorf("adversary: schedule families expand to duplicate name %q — give same-kind families distinct seeds", s.Name)
+			}
+			seen[s.Name] = true
 		}
 		out = append(out, ss...)
 	}
@@ -225,12 +236,22 @@ func (r *draw) next() uint64 {
 	return r.state
 }
 
-// intn returns a value in [0, n).
+// intn returns an unbiased value in [0, n): draws falling in the
+// 2^64 mod n remainder zone are rejected and redrawn (the stream
+// equivalent of fd's boundedDraw) — a plain next()%n over-represents
+// low residues, a systematic skew once n grows toward MaxProcs = 256
+// and the draw feeds every generated victim set and scope.
 func (r *draw) intn(n int) int {
 	if n <= 1 {
 		return 0
 	}
-	return int(r.next() % uint64(n))
+	un := uint64(n)
+	reject := -un % un
+	for {
+		if v := r.next(); v >= reject {
+			return int(v % un)
+		}
+	}
 }
 
 // draw picks count distinct process ids from 1..n (a partial

@@ -1,0 +1,119 @@
+package benchrec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{42}, 42},
+		{"odd", []float64{3, 1, 2}, 2},
+		// Even length: the upper-middle element (index len/2 of the
+		// sorted samples) — the convention the gate and the EXP-PERF
+		// renderer both rely on.
+		{"even", []float64{4, 1, 3, 2}, 3},
+		{"unsorted duplicates", []float64{5, 5, 1, 5}, 5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("%s: Median(%v) = %v, want %v", c.name, c.in, got, c.want)
+		}
+	}
+	// Median must not reorder the caller's slice.
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	out, err := ParseBenchOutput(strings.NewReader(`
+goos: linux
+goarch: amd64
+BenchmarkSchedulerTick-8     	 1000000	        52.7 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSchedulerTick-8     	 1000000	        54.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSchedulerSend       	  500000	       642.5 ns/op
+BenchmarkSweep/full-16       	       3	 350000000 ns/op	     151 cells
+PASS
+ok  	fdgrid	12.3s
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The GOMAXPROCS suffix is stripped: keys compare across machines,
+	// and a suffix-less 1-CPU line lands under the same name.
+	tick, ok := out["BenchmarkSchedulerTick"]
+	if !ok {
+		t.Fatalf("keys: %v", out)
+	}
+	if len(tick.NsOp) != 2 || tick.NsOp[0] != 52.7 || tick.NsOp[1] != 54.1 {
+		t.Errorf("tick samples %v", tick.NsOp)
+	}
+	if len(tick.Raw) != 2 {
+		t.Errorf("tick raw lines %d, want 2", len(tick.Raw))
+	}
+	if got := out["BenchmarkSchedulerSend"]; got == nil || len(got.NsOp) != 1 {
+		t.Errorf("suffix-less benchmark not parsed: %+v", got)
+	}
+	sweep := out["BenchmarkSweep/full"]
+	if sweep == nil {
+		t.Fatal("sub-benchmark name not parsed")
+	}
+	if got := sweep.Metrics["cells"]; len(got) != 1 || got[0] != 151 {
+		t.Errorf("custom metric = %v", sweep.Metrics)
+	}
+}
+
+// TestParseBenchOutputTruncated: a result line cut off mid-way (a
+// crashed run, a full disk) must not produce phantom samples, and its
+// parseable prefix is kept.
+func TestParseBenchOutputTruncated(t *testing.T) {
+	out, err := ParseBenchOutput(strings.NewReader(
+		"BenchmarkSchedulerTick-8 \t 1000000\t        52.7 ns/op\t     17 B\n" + // unit cut off mid-pair is kept as metric "B"
+			"BenchmarkSchedulerSend-8 \t  500000\t       642.5\n" + // value with no unit at all
+			"BenchmarkTrunca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := out["BenchmarkSchedulerTick"]
+	if tick == nil || len(tick.NsOp) != 1 {
+		t.Fatalf("truncated-line benchmark parsed as %+v", tick)
+	}
+	send := out["BenchmarkSchedulerSend"]
+	if send == nil {
+		t.Fatal("value-only line dropped entirely")
+	}
+	if len(send.NsOp) != 0 {
+		t.Errorf("value with no unit counted as ns/op: %v", send.NsOp)
+	}
+	if Median(send.NsOp) != 0 {
+		t.Error("no-sample benchmark must have median 0 (the gate skips it)")
+	}
+	if _, ok := out["BenchmarkTrunca"]; ok {
+		t.Error("name-only fragment produced a benchmark")
+	}
+}
+
+// TestParseBenchOutputNoResults: a run that produced no benchmark lines
+// (build failure output, -bench matching nothing) parses to an empty
+// map, not an error — the gate's "gated nothing" check handles it.
+func TestParseBenchOutputNoResults(t *testing.T) {
+	out, err := ParseBenchOutput(strings.NewReader("PASS\nok  \tfdgrid\t0.01s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("parsed %d benchmarks from a result-free run", len(out))
+	}
+	out, err = ParseBenchOutput(strings.NewReader(""))
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty input: %v, %v", out, err)
+	}
+}

@@ -2,6 +2,7 @@ package fd
 
 import (
 	"fmt"
+	"sort"
 
 	"fdgrid/internal/ids"
 	"fdgrid/internal/sim"
@@ -117,6 +118,157 @@ func (tr *SetTrace) CheckSuspector(pat *sim.Pattern, x int, perpetual bool, minS
 	})
 	if !okAccuracy {
 		return fmt.Errorf("fd: S check: no correct ℓ with a non-suspecting scope of size ≥ %d; %s", x, best)
+	}
+	return nil
+}
+
+// --- Scripted-oracle conformance -------------------------------------
+//
+// A generated oracle script (see adversary.OracleGen) is pattern-blind:
+// it fixes a full output timeline before knowing which processes the
+// cell's adversary crashes. Whether the script stays inside its declared
+// class therefore depends on the failure pattern, and the checkers below
+// decide it statically — scripts are piecewise-constant in time, so
+// evaluating them at every step boundary and crash time yields the exact
+// trace the run would record, without running anything.
+
+// scriptEventTimes returns the sorted, distinct times in [0, horizon] at
+// which a script's evaluation can change: time 0, every step boundary,
+// every crash time, and the horizon itself.
+func scriptEventTimes(pat *sim.Pattern, horizon sim.Time, stepTimes []sim.Time) []sim.Time {
+	times := append([]sim.Time{0, horizon}, stepTimes...)
+	for p := 1; p <= pat.N(); p++ {
+		if ct := pat.CrashTime(ids.ProcID(p)); ct != sim.Never {
+			times = append(times, ct)
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	out := times[:0]
+	for _, t := range times {
+		if t < 0 || t > horizon {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1] == t {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// scriptTrace evaluates a piecewise-constant per-process output over the
+// event grid into the SetTrace the class checkers consume. Crashed
+// processes are not sampled, mirroring the live watchers.
+func scriptTrace(pat *sim.Pattern, horizon sim.Time, stepTimes []sim.Time,
+	eval func(ids.ProcID, sim.Time) ids.Set) *SetTrace {
+	n := pat.N()
+	tr := &SetTrace{
+		n:       n,
+		byProc:  make([][]SetSample, n+1),
+		last:    make([]ids.Set, n+1),
+		started: make([]bool, n+1),
+	}
+	for _, now := range scriptEventTimes(pat, horizon, stepTimes) {
+		for p := 1; p <= n; p++ {
+			id := ids.ProcID(p)
+			if pat.Crashed(id, now) {
+				continue
+			}
+			tr.observe(id, now, eval(id, now))
+		}
+		tr.tick(now)
+	}
+	return tr
+}
+
+// sortedOverrides returns a PerProc override map's keys in id order, so
+// verdict strings stay deterministic.
+func sortedOverrides(m map[ids.ProcID]ids.Set) []ids.ProcID {
+	ps := make([]ids.ProcID, 0, len(m))
+	for p := range m {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	return ps
+}
+
+// CheckLeaderScript verifies that a scripted Ω timeline stays inside
+// class Ω_z under the given failure pattern over [0, horizon]: every
+// value the script can serve has size at most z (the perpetual range
+// constraint of Ω_z), and the evaluated outputs satisfy the eventual
+// leadership property with a stable suffix of at least minStable (via
+// CheckOmega on the script's synthetic trace). Steps need not be sorted.
+func CheckLeaderScript(steps []LeaderStep, pat *sim.Pattern, z int, horizon, minStable sim.Time) error {
+	if z < 1 || z > pat.N() {
+		return fmt.Errorf("fd: leader script: declared z=%d out of range 1..%d", z, pat.N())
+	}
+	if len(steps) == 0 {
+		return fmt.Errorf("fd: leader script: empty timeline")
+	}
+	sorted := append([]LeaderStep(nil), steps...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	times := make([]sim.Time, 0, len(sorted))
+	for _, s := range sorted {
+		times = append(times, s.At)
+		if s.Common.Size() > z {
+			return fmt.Errorf("fd: leader script: step at %d serves %s (size %d > z=%d)", s.At, s.Common, s.Common.Size(), z)
+		}
+		for _, p := range sortedOverrides(s.PerProc) {
+			if v := s.PerProc[p]; v.Size() > z {
+				return fmt.Errorf("fd: leader script: step at %d serves %v the set %s (size %d > z=%d)", s.At, p, v, v.Size(), z)
+			}
+		}
+	}
+	tr := scriptTrace(pat, horizon, times, func(p ids.ProcID, now sim.Time) ids.Set {
+		return leaderValueAt(sorted, p, now)
+	})
+	return tr.CheckOmega(pat, z, minStable)
+}
+
+// CheckSuspectScript verifies that a scripted suspector timeline stays
+// inside class S_x (perpetual=true) or ◇S_x (perpetual=false) under the
+// given failure pattern over [0, horizon], with a stable suffix of at
+// least minStable — strong completeness and limited-scope weak accuracy,
+// via CheckSuspector on the script's synthetic trace. A pattern-blind
+// script conforms only for patterns whose faulty processes its settled
+// suffix suspects. Steps need not be sorted.
+func CheckSuspectScript(steps []SuspectStep, pat *sim.Pattern, x int, perpetual bool, horizon, minStable sim.Time) error {
+	if x < 1 || x > pat.N() {
+		return fmt.Errorf("fd: suspect script: declared x=%d out of range 1..%d", x, pat.N())
+	}
+	if len(steps) == 0 {
+		return fmt.Errorf("fd: suspect script: empty timeline")
+	}
+	sorted := append([]SuspectStep(nil), steps...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	times := make([]sim.Time, 0, len(sorted))
+	for _, s := range sorted {
+		times = append(times, s.At)
+	}
+	tr := scriptTrace(pat, horizon, times, func(p ids.ProcID, now sim.Time) ids.Set {
+		return suspectValueAt(sorted, p, now)
+	})
+	return tr.CheckSuspector(pat, x, perpetual, minStable)
+}
+
+// CheckOracleParams validates a generated ground-truth oracle
+// configuration (a parameter script: stabilization time, anarchy rate in
+// permille, epoch length): the oracle construction guarantees the class
+// properties for any legal parameters, so conformance reduces to the
+// parameters being legal and the stabilization landing early enough that
+// the eventual property is observable within the horizon.
+func CheckOracleParams(stabilizeAt sim.Time, ratePermille int, epoch, horizon, minStable sim.Time) error {
+	if stabilizeAt < 0 {
+		return fmt.Errorf("fd: oracle params: stabilization time %d is negative", stabilizeAt)
+	}
+	if stabilizeAt+minStable > horizon {
+		return fmt.Errorf("fd: oracle params: stabilization at %d leaves no stable suffix (horizon %d, margin %d)", stabilizeAt, horizon, minStable)
+	}
+	if ratePermille < 0 || ratePermille > 1000 {
+		return fmt.Errorf("fd: oracle params: anarchy rate %d‰ outside 0..1000", ratePermille)
+	}
+	if epoch < 0 {
+		return fmt.Errorf("fd: oracle params: epoch %d is negative", epoch)
 	}
 	return nil
 }

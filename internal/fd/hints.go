@@ -120,21 +120,19 @@ func (w *Omega) NextChange(now sim.Time) sim.Time {
 // NextChange implements ChangeHinted for scripted leaders: the next
 // scripted step boundary.
 func (s *ScriptedLeader) NextChange(now sim.Time) sim.Time {
-	for i := range s.steps {
-		if s.steps[i].At > now {
-			return s.steps[i].At
-		}
+	if i := leaderStepAt(s.steps, now) + 1; i < len(s.steps) {
+		return s.steps[i].At
 	}
 	return sim.Never
 }
 
 // NextChange implements ChangeHinted for scripted suspectors: the next
-// scripted step boundary.
+// scripted step boundary, or the next crash (a crashed reader's output
+// becomes empty regardless of the script).
 func (s *ScriptedSuspector) NextChange(now sim.Time) sim.Time {
-	for i := range s.steps {
-		if s.steps[i].At > now {
-			return s.steps[i].At
-		}
+	next := nextCrashEvent(s.sys.Pattern(), now, 0)
+	if i := suspectStepAt(s.steps, now) + 1; i < len(s.steps) && s.steps[i].At < next {
+		next = s.steps[i].At
 	}
-	return sim.Never
+	return next
 }

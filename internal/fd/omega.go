@@ -61,8 +61,7 @@ func drawTrusted(sys *sim.System, z int, o options) ids.Set {
 	leader := o.leaderHint
 	if leader == ids.None {
 		members := correct.Members()
-		salt := mix(uint64(sys.Config().Seed), o.leaderSalt, 0x61)
-		leader = members[int(salt%uint64(len(members)))]
+		leader = members[boundedDraw(len(members), uint64(sys.Config().Seed), o.leaderSalt, 0x61)]
 	} else if sys.Pattern().CrashTime(leader) != sim.Never {
 		panic(fmt.Sprintf("fd: pinned leader %v is faulty in this pattern", leader))
 	}
@@ -94,7 +93,7 @@ func (w *Omega) Trusted(p ids.ProcID) ids.Set {
 	}
 	n := w.sys.Config().N
 	seed := uint64(w.sys.Config().Seed)
-	size := int(mix(seed, 0x63, uint64(p), epoch, w.opt.leaderSalt) % uint64(w.z+1))
+	size := boundedDraw(w.z+1, seed, 0x63, uint64(p), epoch, w.opt.leaderSalt)
 	set := pickDistinct(ids.EmptySet(), ids.FullSet(n), size,
 		mix(seed, 0x64, uint64(p), epoch, w.opt.leaderSalt))
 	w.anarchy[p] = anarchyEpoch{epoch: epoch, ok: true, set: set}

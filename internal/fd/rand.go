@@ -57,12 +57,33 @@ func setKey(s ids.Set) uint64 {
 	return k
 }
 
+// boundedDraw returns an unbiased deterministic value in [0, n): 64-bit
+// draws from the keyed splitmix stream are rejected while they fall in
+// the 2^64 mod n remainder zone, so no residue is over-represented. A
+// plain `mix(...) % n` favours the low residues by up to n/2^64 per
+// value — negligible alone, but a systematic skew once n grows toward
+// MaxProcs = 256 and the draw feeds every generated scope and trusted
+// set of a sweep.
+func boundedDraw(n int, keys ...uint64) int {
+	if n <= 1 {
+		return 0
+	}
+	un := uint64(n)
+	reject := -un % un // 2^64 mod n: the short final bucket
+	for attempt := uint64(0); ; attempt++ {
+		v := mix(append(keys, attempt)...)
+		if v >= reject {
+			return int(v % un)
+		}
+	}
+}
+
 // pickDistinct deterministically selects count members from pool
 // (excluding those already in chosen), returning chosen ∪ picks.
 func pickDistinct(chosen, pool ids.Set, count int, salt uint64) ids.Set {
 	members := pool.Minus(chosen).Members()
 	for i := 0; i < count && len(members) > 0; i++ {
-		j := int(mix(salt, uint64(i)) % uint64(len(members)))
+		j := boundedDraw(len(members), salt, uint64(i))
 		chosen = chosen.Add(members[j])
 		members = append(members[:j], members[j+1:]...)
 	}

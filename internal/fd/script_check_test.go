@@ -1,0 +1,185 @@
+package fd
+
+import (
+	"strings"
+	"testing"
+
+	"fdgrid/internal/ids"
+	"fdgrid/internal/sim"
+)
+
+func mustPattern(t *testing.T, cfg sim.Config) *sim.Pattern {
+	t.Helper()
+	return sim.MustNew(cfg).Pattern()
+}
+
+// A flapping-then-settling Ω_2 timeline used by several cases below.
+func flapScript() []LeaderStep {
+	return []LeaderStep{
+		{At: 0, Common: ids.NewSet(3)},
+		{At: 100, Common: ids.NewSet(4, 5), PerProc: map[ids.ProcID]ids.Set{2: ids.NewSet(1)}},
+		{At: 200, Common: ids.NewSet(2)},
+		{At: 300, Common: ids.NewSet(1, 2)},
+	}
+}
+
+func TestCheckLeaderScript(t *testing.T) {
+	noCrash := mustPattern(t, sim.Config{N: 5, T: 2, Seed: 1, MaxSteps: 10})
+	lateCrash := mustPattern(t, sim.Config{N: 5, T: 2, Seed: 1, MaxSteps: 10,
+		Crashes: map[ids.ProcID]sim.Time{5: 600}})
+
+	if err := CheckLeaderScript(flapScript(), noCrash, 2, 2_000, 100); err != nil {
+		t.Errorf("conforming script rejected: %v", err)
+	}
+	if err := CheckLeaderScript(flapScript(), lateCrash, 2, 2_000, 100); err != nil {
+		t.Errorf("settle {1,2} under crash of 5 rejected: %v", err)
+	}
+
+	// Range constraint: a pre-stabilization step may not exceed z either.
+	if err := CheckLeaderScript(flapScript(), noCrash, 1, 2_000, 100); err == nil ||
+		!strings.Contains(err.Error(), "z=1") {
+		t.Errorf("oversize step accepted for z=1: %v", err)
+	}
+
+	// The settled set must contain a correct process.
+	crashed12 := mustPattern(t, sim.Config{N: 5, T: 2, Seed: 1, MaxSteps: 10,
+		Crashes: map[ids.ProcID]sim.Time{1: 50, 2: 80}})
+	if err := CheckLeaderScript(flapScript(), crashed12, 2, 2_000, 100); err == nil {
+		t.Error("settle {1,2} accepted though both crashed")
+	}
+
+	// A per-process override that never goes away breaks eventual
+	// agreement among correct processes.
+	diverging := append(flapScript(), LeaderStep{
+		At: 400, Common: ids.NewSet(1), PerProc: map[ids.ProcID]ids.Set{3: ids.NewSet(2)}})
+	if err := CheckLeaderScript(diverging, noCrash, 2, 2_000, 100); err == nil {
+		t.Error("permanently divergent per-process override accepted")
+	}
+
+	// Settling too close to the horizon leaves no stable suffix.
+	if err := CheckLeaderScript(flapScript(), noCrash, 2, 350, 100); err == nil {
+		t.Error("script with no stable suffix accepted")
+	}
+
+	if err := CheckLeaderScript(nil, noCrash, 2, 2_000, 100); err == nil {
+		t.Error("empty timeline accepted")
+	}
+	if err := CheckLeaderScript(flapScript(), noCrash, 9, 2_000, 100); err == nil {
+		t.Error("z out of range accepted")
+	}
+}
+
+func TestCheckSuspectScript(t *testing.T) {
+	churn := []SuspectStep{
+		{At: 0, Common: ids.NewSet(1, 4)},
+		{At: 150, Common: ids.NewSet(2), PerProc: map[ids.ProcID]ids.Set{1: ids.NewSet(3)}},
+		{At: 400, Common: ids.NewSet(5)},
+	}
+	noCrash := mustPattern(t, sim.Config{N: 5, T: 2, Seed: 1, MaxSteps: 10})
+	// No faulty process: completeness is trivial, and every process
+	// eventually spares (say) ℓ=1, so Q = Π ⊇ any scope.
+	if err := CheckSuspectScript(churn, noCrash, 3, false, 2_000, 100); err != nil {
+		t.Errorf("conforming ◇S script rejected: %v", err)
+	}
+	// The same script is NOT a perpetual S_3: process 1 suspected ℓ=2
+	// before 150... pick ℓ=3: suspected by 1 during [150,400). Every
+	// candidate ℓ is suspected by someone at some point, except ℓ ∈ {} —
+	// actually ℓ=2 is spared by all except during [150,400) where Common
+	// contains 2. So no perpetual scope of size 3 exists.
+	if err := CheckSuspectScript(churn, noCrash, 5, true, 2_000, 100); err == nil {
+		t.Error("churn accepted as perpetual S_5")
+	}
+
+	// Completeness: a crashed process must eventually be suspected.
+	crash3 := mustPattern(t, sim.Config{N: 5, T: 2, Seed: 1, MaxSteps: 10,
+		Crashes: map[ids.ProcID]sim.Time{3: 200}})
+	if err := CheckSuspectScript(churn, crash3, 3, false, 2_000, 100); err == nil {
+		t.Error("script that never suspects crashed 3 accepted")
+	}
+	complete := append(churn[:len(churn):len(churn)], SuspectStep{At: 400, Common: ids.NewSet(3, 5)})
+	if err := CheckSuspectScript(complete, crash3, 3, false, 2_000, 100); err != nil {
+		t.Errorf("completeness-satisfying script rejected: %v", err)
+	}
+
+	if err := CheckSuspectScript(nil, noCrash, 3, false, 2_000, 100); err == nil {
+		t.Error("empty timeline accepted")
+	}
+	if err := CheckSuspectScript(churn, noCrash, 0, false, 2_000, 100); err == nil {
+		t.Error("x out of range accepted")
+	}
+}
+
+func TestCheckOracleParams(t *testing.T) {
+	if err := CheckOracleParams(500, 400, 16, 6_000, 1_000); err != nil {
+		t.Errorf("legal params rejected: %v", err)
+	}
+	for _, bad := range []struct {
+		name                   string
+		stab, epoch, hor, marg sim.Time
+		rate                   int
+	}{
+		{"negative stab", -1, 16, 6_000, 100, 400},
+		{"no suffix", 5_500, 16, 6_000, 1_000, 400},
+		{"rate over", 100, 16, 6_000, 100, 1_001},
+		{"rate under", 100, 16, 6_000, 100, -1},
+		{"negative epoch", 100, -2, 6_000, 100, 400},
+	} {
+		if err := CheckOracleParams(bad.stab, bad.rate, bad.epoch, bad.hor, bad.marg); err == nil {
+			t.Errorf("%s accepted", bad.name)
+		}
+	}
+}
+
+// TestScriptedEqualAtStable: with sort.SliceStable, equal-At steps keep
+// their authored order and the later-listed one is the step in effect.
+func TestScriptedEqualAtStable(t *testing.T) {
+	cfg := sim.Config{N: 3, T: 1, Seed: 7, MaxSteps: 2_000, GST: 0}
+	sys := sim.MustNew(cfg)
+	l := NewScriptedLeader(sys, []LeaderStep{
+		{At: 0, Common: ids.NewSet(3)},
+		{At: 500, Common: ids.NewSet(1)},
+		{At: 500, Common: ids.NewSet(2)}, // same tick: this one wins
+	})
+	s := NewScriptedSuspector(sys, []SuspectStep{
+		{At: 0, Common: ids.NewSet(3)},
+		{At: 500, Common: ids.NewSet(1)},
+		{At: 500, Common: ids.NewSet(2)},
+	})
+	sys.OnTick(func(now sim.Time) {
+		if now != 600 {
+			return
+		}
+		if got := l.Trusted(1); !got.Equal(ids.NewSet(2)) {
+			t.Errorf("Trusted after equal-At steps = %s, want {2}", got)
+		}
+		if got := s.Suspected(1); !got.Equal(ids.NewSet(2)) {
+			t.Errorf("Suspected after equal-At steps = %s, want {2}", got)
+		}
+	})
+	sys.Run(nil)
+}
+
+// TestBoundedDraw: determinism, range, and no gross modulo skew.
+func TestBoundedDraw(t *testing.T) {
+	if boundedDraw(1, 42) != 0 || boundedDraw(0, 42) != 0 {
+		t.Fatal("degenerate bounds must return 0")
+	}
+	if boundedDraw(200, 1, 2) != boundedDraw(200, 1, 2) {
+		t.Fatal("boundedDraw is not deterministic")
+	}
+	const n, draws = 7, 70_000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := boundedDraw(n, 0xfeed, uint64(i))
+		if v < 0 || v >= n {
+			t.Fatalf("draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	want := draws / n
+	for v, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("residue %d drawn %d times, want ≈%d", v, c, want)
+		}
+	}
+}

@@ -86,8 +86,7 @@ func drawScope(sys *sim.System, x int, o options) (ids.ProcID, ids.Set) {
 	leader := o.leaderHint
 	if leader == ids.None {
 		members := correct.Members()
-		salt := mix(uint64(sys.Config().Seed), o.leaderSalt, 0x51)
-		leader = members[int(salt%uint64(len(members)))]
+		leader = members[boundedDraw(len(members), uint64(sys.Config().Seed), o.leaderSalt, 0x51)]
 	} else if sys.Pattern().CrashTime(leader) != sim.Never {
 		panic(fmt.Sprintf("fd: pinned leader %v is faulty in this pattern", leader))
 	}

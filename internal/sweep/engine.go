@@ -182,6 +182,7 @@ func runCell(runner Runner, c *Cell) (res CellResult) {
 		Size:    c.Size,
 		Pattern: c.Pattern.Name,
 		Combo:   c.Combo,
+		Oracle:  c.Oracle.Name,
 		Verdict: Pass,
 	}
 	start := time.Now()

@@ -107,6 +107,16 @@ type Matrix struct {
 	// Patterns in the pattern dimension.
 	AdversaryFamilies []adversary.Family `json:"adversary_families,omitempty"`
 
+	// OracleFamilies declares generated oracle dimension points: each
+	// family expands, per size, into concrete oracle scripts via
+	// adversary.OracleGen (same deterministic-expansion contract as
+	// AdversaryFamilies). A matrix without oracle families sweeps a
+	// single "no generated oracle" point, leaving cell expansion
+	// unchanged. Runners resolve a script into a scripted fd driver
+	// (leader/suspector timelines) or ground-truth oracle parameters,
+	// and tag every cell with the script's conformance verdict.
+	OracleFamilies []adversary.OracleFamily `json:"oracle_families,omitempty"`
+
 	// GST and MaxSteps apply to every cell; Bandwidth 0 means "n".
 	GST       sim.Time `json:"gst"`
 	MaxSteps  sim.Time `json:"max_steps"`
@@ -126,6 +136,10 @@ type Cell struct {
 	Size     Size         `json:"size"`
 	Pattern  CrashPattern `json:"pattern"`
 	Combo    Combo        `json:"combo"`
+
+	// Oracle is the cell's generated oracle dimension point (the zero
+	// value when the matrix declares no OracleFamilies).
+	Oracle adversary.OracleScript `json:"oracle,omitempty"`
 
 	GST       sim.Time         `json:"gst"`
 	MaxSteps  sim.Time         `json:"max_steps"`
@@ -213,11 +227,28 @@ func (m *Matrix) patternsFor(size Size) ([]CrashPattern, error) {
 	return patterns, nil
 }
 
+// oraclesFor resolves the matrix's generated-oracle dimension for one
+// size: the expansion of every oracle family, or a single zero-value
+// point when the matrix declares none. Sizes expand independently
+// because drawn timelines and scopes depend on (n, t).
+func (m *Matrix) oraclesFor(size Size) ([]adversary.OracleScript, error) {
+	if len(m.OracleFamilies) == 0 {
+		return []adversary.OracleScript{{}}, nil
+	}
+	gen := adversary.NewOracleGen(size.N, size.T)
+	scripts, err := gen.ExpandAll(m.OracleFamilies)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: matrix %q size n=%d: %w", m.Name, size.N, err)
+	}
+	return scripts, nil
+}
+
 // Cells expands the matrix into its cross product, in the documented
 // deterministic order: sizes (outermost) × patterns (explicit, then
-// generated) × combos × seeds (innermost). Empty Patterns/Combos expand
-// as a single zero-value point; empty Seeds or Sizes is an error — a
-// sweep with no runs is almost always a bug in the matrix definition.
+// generated) × combos × oracle scripts × seeds (innermost). Empty
+// Patterns/Combos expand as a single zero-value point, as does an empty
+// OracleFamilies list; empty Seeds or Sizes is an error — a sweep with
+// no runs is almost always a bug in the matrix definition.
 func (m *Matrix) Cells() ([]Cell, error) {
 	if m.Protocol == "" {
 		return nil, fmt.Errorf("sweep: matrix %q has no protocol", m.Name)
@@ -241,26 +272,33 @@ func (m *Matrix) Cells() ([]Cell, error) {
 		if err != nil {
 			return nil, err
 		}
+		oracles, err := m.oraclesFor(size)
+		if err != nil {
+			return nil, err
+		}
 		for _, pat := range patterns {
 			for _, combo := range combos {
-				for _, seed := range m.Seeds {
-					c := Cell{
-						Index:     len(cells),
-						Matrix:    m.Name,
-						Protocol:  m.Protocol,
-						Seed:      seed,
-						Size:      size,
-						Pattern:   pat,
-						Combo:     combo,
-						GST:       m.GST,
-						MaxSteps:  m.MaxSteps,
-						Bandwidth: m.Bandwidth,
-						Params:    m.Params,
+				for _, oracle := range oracles {
+					for _, seed := range m.Seeds {
+						c := Cell{
+							Index:     len(cells),
+							Matrix:    m.Name,
+							Protocol:  m.Protocol,
+							Seed:      seed,
+							Size:      size,
+							Pattern:   pat,
+							Combo:     combo,
+							Oracle:    oracle,
+							GST:       m.GST,
+							MaxSteps:  m.MaxSteps,
+							Bandwidth: m.Bandwidth,
+							Params:    m.Params,
+						}
+						if _, err := c.Config(); err != nil {
+							return nil, err
+						}
+						cells = append(cells, c)
 					}
-					if _, err := c.Config(); err != nil {
-						return nil, err
-					}
-					cells = append(cells, c)
 				}
 			}
 		}

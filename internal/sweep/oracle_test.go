@@ -1,0 +1,266 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fdgrid/internal/adversary"
+)
+
+// oracleMatrix is a small kset-omega sweep with a generated-oracle
+// dimension: a flapping Ω_1 timeline family and a late-stabilization
+// parameter family.
+func oracleMatrix() Matrix {
+	return Matrix{
+		Name: "oracle-kset", Protocol: "kset-omega",
+		Seeds: []int64{0, 1},
+		Sizes: []Size{{N: 5, T: 2}},
+		OracleFamilies: []adversary.OracleFamily{
+			{Kind: adversary.OracleLeaderFlap, Z: 1, Variants: 2, Seed: 3, Settle: []int{1}},
+			{Kind: adversary.OracleLateStab, Variants: 2, Seed: 4, Start: 200, Ramp: 200},
+		},
+		Combos: []Combo{{Z: 1}},
+		GST:    200, MaxSteps: 2_000_000,
+	}
+}
+
+// TestOracleDimensionExpansion: OracleFamilies is a real cell axis with
+// the documented deterministic order and per-script cells.
+func TestOracleDimensionExpansion(t *testing.T) {
+	m := oracleMatrix()
+	cells, err := m.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8 { // 1 size × 1 pattern × 1 combo × 4 scripts × 2 seeds
+		t.Fatalf("expanded %d cells, want 8", len(cells))
+	}
+	again, err := m.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		if cells[i].Oracle.Name == "" {
+			t.Fatalf("cell %d has no oracle script", i)
+		}
+		if cells[i].Oracle.Name != again[i].Oracle.Name {
+			t.Fatalf("expansion not deterministic at cell %d", i)
+		}
+	}
+	// Oracle is the inner dimension above seeds: consecutive seed pairs
+	// share a script, adjacent pairs differ.
+	if cells[0].Oracle.Name != cells[1].Oracle.Name || cells[1].Oracle.Name == cells[2].Oracle.Name {
+		t.Fatalf("unexpected oracle ordering: %s %s %s",
+			cells[0].Oracle.Name, cells[1].Oracle.Name, cells[2].Oracle.Name)
+	}
+
+	// A matrix without OracleFamilies keeps the zero point.
+	m.OracleFamilies = nil
+	cells, err = m.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("zero-oracle matrix expanded %d cells, want 2", len(cells))
+	}
+	if !cells[0].Oracle.None() {
+		t.Fatal("zero-oracle cell carries a script")
+	}
+}
+
+// TestOracleSweepReport: generated-oracle cells run, pass, and carry
+// script identity plus a conformance verdict; the report is
+// byte-reproducible across worker counts.
+func TestOracleSweepReport(t *testing.T) {
+	m := oracleMatrix()
+	r1, err := Run(m, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Run(m, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.OK() {
+		for _, c := range r1.Cells {
+			if c.Verdict != Pass {
+				t.Errorf("cell %d (%s, oracle %s): %s — %s", c.Index, c.Pattern, c.Oracle, c.Verdict, c.Detail)
+			}
+		}
+		t.Fatal("oracle sweep did not pass")
+	}
+	for _, c := range r1.Cells {
+		if c.Oracle == "" || c.OracleClass == "" {
+			t.Fatalf("cell %d missing oracle keys: %+v", c.Index, c)
+		}
+		if c.OracleConformance != "conforms" {
+			t.Fatalf("cell %d conformance = %q", c.Index, c.OracleConformance)
+		}
+	}
+	b1, err := r1.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := r4.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b4) {
+		t.Fatal("oracle sweep reports differ across worker counts")
+	}
+}
+
+// TestOracleScriptedSuspector: a scope-churn script drives the
+// two-wheels reduction through the scripted-suspector driver.
+func TestOracleScriptedSuspector(t *testing.T) {
+	m := Matrix{
+		Name: "oracle-wheels", Protocol: "two-wheels",
+		Seeds: []int64{0},
+		Sizes: []Size{{N: 5, T: 2}},
+		OracleFamilies: []adversary.OracleFamily{
+			{Kind: adversary.OracleScopeChurn, X: 2, Variants: 2, Seed: 5, Settle: []int{1, 2}},
+		},
+		Combos: []Combo{{X: 2, Y: 1}},
+		GST:    400, MaxSteps: 60_000,
+		Params: map[string]int64{"stable_for": 12_000, "margin": 10_000},
+	}
+	r, err := Run(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Cells {
+		if c.Verdict != Pass {
+			t.Errorf("cell %d (oracle %s): %s — %s", c.Index, c.Oracle, c.Verdict, c.Detail)
+		}
+		if c.OracleClass != "evt-s-2" || c.OracleConformance != "conforms" {
+			t.Errorf("cell %d: class %q conformance %q", c.Index, c.OracleClass, c.OracleConformance)
+		}
+	}
+}
+
+// TestOracleParamsReachBothWheels: a parameter script on two-wheels
+// configures the querier as well as the suspector — a late-stabilizing
+// dimension point must not be half-applied. Observable through the
+// emulated output's stabilization time: the upper wheel consults the
+// ◇φ_y live, so a querier still anarchic at the script's late
+// stabilization keeps the output churning past it.
+func TestOracleParamsReachBothWheels(t *testing.T) {
+	const stab = 8_000
+	m := Matrix{
+		Name: "oracle-wheels-params", Protocol: "two-wheels",
+		Seeds: []int64{0},
+		Sizes: []Size{{N: 5, T: 2}},
+		OracleFamilies: []adversary.OracleFamily{
+			{Kind: adversary.OracleLateStab, Seed: 9, Start: stab, Ramp: 1},
+		},
+		Combos: []Combo{{X: 2, Y: 1}},
+		GST:    400, MaxSteps: 80_000,
+		Params: map[string]int64{"stable_for": 12_000, "margin": 10_000},
+	}
+	r, err := Run(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Cells {
+		if c.Verdict != Pass {
+			t.Fatalf("cell %d (%s): %s — %s", c.Index, c.Oracle, c.Verdict, c.Detail)
+		}
+		if got := c.Measures["stabilization"]; got < stab {
+			t.Errorf("output stabilized at %d, before the scripted oracle stabilization %d — the script was half-applied", got, stab)
+		}
+	}
+}
+
+// TestOracleNonconforming: a script whose settle set the pattern
+// crashes is flagged by the conformance checker and fails the cell
+// without running the protocol.
+func TestOracleNonconforming(t *testing.T) {
+	m := oracleMatrix()
+	m.Patterns = []CrashPattern{{Name: "settle-crashes",
+		Crashes: []CrashSpec{{Proc: 1, At: 50}}}}
+	r, err := Run(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawViolation := false
+	for _, c := range r.Cells {
+		if !strings.HasPrefix(c.Oracle, adversary.OracleLeaderFlap) {
+			continue // late-stab params stay in class: the ground-truth oracle is pattern-aware
+		}
+		sawViolation = true
+		if c.Verdict != Fail {
+			t.Errorf("cell %d (oracle %s): verdict %s, want fail", c.Index, c.Oracle, c.Verdict)
+		}
+		if !strings.HasPrefix(c.OracleConformance, "violates:") {
+			t.Errorf("cell %d: conformance %q", c.Index, c.OracleConformance)
+		}
+		if c.Steps != 0 {
+			t.Errorf("cell %d ran %d steps over an out-of-class oracle", c.Index, c.Steps)
+		}
+	}
+	if !sawViolation {
+		t.Fatal("no flap cells in the report")
+	}
+}
+
+// TestOraclePinningInteraction: the default path's oracle pinning is
+// not silently dropped — a pinned trusted set composes with parameter
+// scripts, conflicts with timelines, and stab0 conflicts with both.
+func TestOraclePinningInteraction(t *testing.T) {
+	m := oracleMatrix()
+	m.Combos = []Combo{{Z: 1, Trusted: []int{1}}}
+	r, err := Run(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Cells {
+		flap := strings.HasPrefix(c.Oracle, adversary.OracleLeaderFlap)
+		switch {
+		case flap && c.Verdict != Fail:
+			t.Errorf("cell %d (%s): timeline + pinned trusted set passed", c.Index, c.Oracle)
+		case flap && !strings.Contains(c.Detail, "pins a trusted set"):
+			t.Errorf("cell %d: detail %q", c.Index, c.Detail)
+		case !flap && c.Verdict != Pass:
+			t.Errorf("cell %d (%s): param script + pinned trusted set failed: %s", c.Index, c.Oracle, c.Detail)
+		case !flap && len(c.Decided) != 1:
+			// Param script + pinned trusted set: Ω_1 still forces
+			// consensus (the decided value may predate stabilization —
+			// anarchy rounds legally shuffle estimates).
+			t.Errorf("cell %d decided %v, want one value", c.Index, c.Decided)
+		}
+	}
+
+	m = oracleMatrix()
+	m.Params = map[string]int64{"stab0": 1}
+	if r, err = Run(m, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Cells {
+		if c.Verdict != Fail || !strings.Contains(c.Detail, "stab0 conflicts") {
+			t.Errorf("cell %d (%s): stab0 + script gave %s — %q", c.Index, c.Oracle, c.Verdict, c.Detail)
+		}
+	}
+}
+
+// TestOracleWrongProtocol: declaring the oracle dimension on a protocol
+// that builds its own oracles fails loudly instead of being ignored.
+func TestOracleWrongProtocol(t *testing.T) {
+	m := Matrix{
+		Name: "oracle-misuse", Protocol: "phi-o1",
+		Seeds:          []int64{1},
+		Sizes:          []Size{{N: 5, T: 2}},
+		OracleFamilies: []adversary.OracleFamily{{Kind: adversary.OracleLateStab}},
+		Combos:         []Combo{{Y: 1}},
+		GST:            0, MaxSteps: 2_000,
+	}
+	r, err := Run(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Cells {
+		if c.Verdict != Fail || !strings.Contains(c.Detail, "does not consume") {
+			t.Errorf("cell %d: verdict %s detail %q", c.Index, c.Verdict, c.Detail)
+		}
+	}
+}

@@ -30,6 +30,16 @@ type CellResult struct {
 	Size    Size   `json:"size"`
 	Pattern string `json:"pattern"`
 	Combo   Combo  `json:"combo"`
+
+	// Oracle keys the cell's generated-oracle dimension point (empty
+	// for matrices without OracleFamilies); OracleClass is the class the
+	// script declares and OracleConformance the fd/check.go verdict —
+	// "conforms", or "violates: <reason>" when the script leaves its
+	// declared class under this cell's failure pattern.
+	Oracle            string `json:"oracle,omitempty"`
+	OracleClass       string `json:"oracle_class,omitempty"`
+	OracleConformance string `json:"oracle_conformance,omitempty"`
+
 	Verdict string `json:"verdict"`
 	Detail  string `json:"detail,omitempty"`
 

@@ -81,6 +81,9 @@ func runKSetGrid(c *Cell, res *CellResult) {
 	if err != nil {
 		panic(err)
 	}
+	if !requireNoOracle(c, res) {
+		return
+	}
 	out, err := core.SpawnKSetWith(sys, c.Combo.Class(), nil)
 	if err != nil {
 		panic(err)
@@ -98,6 +101,131 @@ func runKSetGrid(c *Cell, res *CellResult) {
 	if err := out.Check(sys.Pattern(), k); err != nil {
 		res.fail(err.Error())
 	}
+}
+
+// tagOracle records the cell's generated-oracle identity and its
+// fd/check.go conformance verdict on the result. It returns false when
+// the script leaves its declared class under this cell's failure
+// pattern — the cell fails and the protocol run is skipped (running a
+// protocol over an out-of-class oracle proves nothing and can block
+// until the step cap).
+func tagOracle(c *Cell, sys *sim.System, res *CellResult) bool {
+	s := &c.Oracle
+	if s.None() {
+		return true
+	}
+	res.OracleClass = s.Class()
+	if err := s.Conformance(sys.Pattern(), c.MaxSteps); err != nil {
+		res.OracleConformance = "violates: " + err.Error()
+		res.fail("generated oracle script leaves its declared class: " + err.Error())
+		return false
+	}
+	res.OracleConformance = "conforms"
+	return true
+}
+
+// failOracle fails a cell over a script shape mismatch or a pinning
+// conflict, recording the script's class first so every rejection path
+// keeps the report row's class tag. Returns false for use in the
+// resolvers' return statements.
+func failOracle(res *CellResult, s *adversary.OracleScript, format string, args ...any) bool {
+	res.OracleClass = s.Class()
+	res.fail(fmt.Sprintf(format, args...))
+	return false
+}
+
+// requireNoOracle fails cells that declare a generated oracle for a
+// protocol that does not consume the oracle dimension — better a loud
+// failure than a sweep silently ignoring one of its axes.
+func requireNoOracle(c *Cell, res *CellResult) bool {
+	if c.Oracle.None() {
+		return true
+	}
+	return failOracle(res, &c.Oracle, "protocol %q does not consume the generated-oracle dimension (script %s)", c.Protocol, c.Oracle.Name)
+}
+
+// oracleLeader resolves the cell's oracle dimension for a leader-reading
+// protocol: a leader timeline becomes a ScriptedLeader, a parameter
+// script configures the ground-truth Ω_z, and the zero script falls back
+// to the cell's default Ω oracle. ok=false means the cell already
+// failed (nonconforming script or a script of the wrong shape).
+func oracleLeader(c *Cell, sys *sim.System, res *CellResult, z int) (oracle fd.Leader, ok bool) {
+	s := &c.Oracle
+	if s.None() {
+		return omegaOracle(c, sys, z), true
+	}
+	if len(s.Suspect) > 0 {
+		return nil, failOracle(res, s, "oracle script %s is a suspector timeline; protocol %q reads a leader", s.Name, c.Protocol)
+	}
+	// The default path's oracle pinning must not be silently dropped:
+	// stab0 contradicts any generated script (both fix the stabilization
+	// time), and a pinned trusted set contradicts a timeline (the script
+	// already fixes every output) but composes with a parameter script.
+	if c.Param("stab0", 0) != 0 {
+		return nil, failOracle(res, s, "param stab0 conflicts with generated oracle script %s (both pin the stabilization time)", s.Name)
+	}
+	if len(s.Leader) > 0 {
+		if len(c.Combo.Trusted) > 0 {
+			return nil, failOracle(res, s, "combo pins a trusted set but oracle script %s already fixes the timeline", s.Name)
+		}
+		if s.Z != z {
+			return nil, failOracle(res, s, "oracle script %s declares z=%d, combo wants z=%d", s.Name, s.Z, z)
+		}
+	}
+	if !tagOracle(c, sys, res) {
+		return nil, false
+	}
+	if len(s.Leader) > 0 {
+		return fd.NewScriptedLeader(sys, s.Leader), true
+	}
+	opts := s.Options()
+	if len(c.Combo.Trusted) > 0 {
+		opts = append(opts, fd.WithTrusted(set(c.Combo.Trusted)))
+	}
+	return fd.NewOmega(sys, z, opts...), true
+}
+
+// oracleSuspector is oracleLeader for suspector-reading protocols: a
+// suspect timeline becomes a ScriptedSuspector, a parameter script
+// configures the ground-truth ◇S_x, and the zero script falls back to
+// the plain ◇S_x.
+func oracleSuspector(c *Cell, sys *sim.System, res *CellResult, x int) (susp fd.Suspector, ok bool) {
+	s := &c.Oracle
+	if s.None() {
+		return fd.NewEvtS(sys, x), true
+	}
+	if len(s.Leader) > 0 {
+		return nil, failOracle(res, s, "oracle script %s is a leader timeline; protocol %q reads a suspector", s.Name, c.Protocol)
+	}
+	if len(s.Suspect) > 0 && s.X != x {
+		return nil, failOracle(res, s, "oracle script %s declares x=%d, combo wants x=%d", s.Name, s.X, x)
+	}
+	if !tagOracle(c, sys, res) {
+		return nil, false
+	}
+	if len(s.Suspect) > 0 {
+		return fd.NewScriptedSuspector(sys, s.Suspect), true
+	}
+	return fd.NewEvtS(sys, x, s.Options()...), true
+}
+
+// oraclePhiOpts resolves the cell's oracle dimension for a
+// querier-reading protocol, where only parameter scripts make sense:
+// it returns the ground-truth options plus whether the oracle is the
+// eventual flavor (a generated parameter script always is — its whole
+// point is a misbehaving prefix).
+func oraclePhiOpts(c *Cell, sys *sim.System, res *CellResult) (opts []fd.Option, eventual, ok bool) {
+	s := &c.Oracle
+	if s.None() {
+		return nil, false, true
+	}
+	if s.IsTimeline() {
+		return nil, false, failOracle(res, s, "oracle script %s is a timeline; protocol %q reads a querier", s.Name, c.Protocol)
+	}
+	if !tagOracle(c, sys, res) {
+		return nil, false, false
+	}
+	return s.Options(), true, true
 }
 
 // omegaOracle builds the cell's Ω oracle with optional pinning.
@@ -125,7 +253,10 @@ func runKSetOmega(c *Cell, res *CellResult) {
 	if z == 0 {
 		z = 1
 	}
-	oracle := omegaOracle(c, sys, z)
+	oracle, ok := oracleLeader(c, sys, res, z)
+	if !ok {
+		return
+	}
 	out := agreement.NewOutcome()
 	for p := 1; p <= c.Size.N; p++ {
 		id := ids.ProcID(p)
@@ -157,7 +288,10 @@ func runKSetSeq(c *Cell, res *CellResult) {
 	if z == 0 {
 		z = 1
 	}
-	oracle := omegaOracle(c, sys, z)
+	oracle, ok := oracleLeader(c, sys, res, z)
+	if !ok {
+		return
+	}
 	instances := int(c.Param("instances", 4))
 	outs := make([]*agreement.Outcome, instances)
 	for j := range outs {
@@ -192,7 +326,10 @@ func runConsensusDS(c *Cell, res *CellResult) {
 	if err != nil {
 		panic(err)
 	}
-	susp := fd.NewEvtS(sys, c.Size.N)
+	susp, ok := oracleSuspector(c, sys, res, c.Size.N)
+	if !ok {
+		return
+	}
 	out := agreement.NewOutcome()
 	for p := 1; p <= c.Size.N; p++ {
 		id := ids.ProcID(p)
@@ -273,8 +410,21 @@ func runTwoWheels(c *Cell, res *CellResult) {
 	if z == 0 {
 		z = c.Size.T + 2 - x - y
 	}
-	susp := fd.NewEvtS(sys, x)
-	quer := fd.NewEvtPhi(sys, y)
+	susp, ok := oracleSuspector(c, sys, res, x)
+	if !ok {
+		return
+	}
+	// A parameter script configures the whole oracle environment, and
+	// two-wheels reads two oracles: the ◇φ_y gets the same
+	// stabilization/anarchy configuration as the ◇S_x, or the swept
+	// dimension would be silently half-applied. (Timeline scripts name
+	// a single role — the suspector — and leave the querier default.)
+	var quer *fd.Phi
+	if s := &c.Oracle; !s.None() && !s.IsTimeline() {
+		quer = fd.NewEvtPhi(sys, y, s.Options()...)
+	} else {
+		quer = fd.NewEvtPhi(sys, y)
+	}
 	emu, _ := reduction.SpawnTwoWheels(sys, susp, quer, x, y)
 	trace := fd.WatchLeaderSparse(sys, emu)
 	// The emulated Trusted consults the querier live; make sure every
@@ -322,7 +472,11 @@ func runSingleWheel(c *Cell, res *CellResult) {
 	if err != nil {
 		panic(err)
 	}
-	emu := reduction.SpawnSingleWheel(sys, fd.NewEvtS(sys, c.Size.N))
+	susp, ok := oracleSuspector(c, sys, res, c.Size.N)
+	if !ok {
+		return
+	}
+	emu := reduction.SpawnSingleWheel(sys, susp)
 	trace := fd.WatchLeaderSparse(sys, emu)
 	var stop func() bool
 	if sf := sim.Time(c.Param("stable_for", 0)); sf > 0 {
@@ -345,7 +499,10 @@ func runLowerWheel(c *Cell, res *CellResult) {
 		panic(err)
 	}
 	x := c.Combo.X
-	susp := fd.NewEvtS(sys, x)
+	susp, ok := oracleSuspector(c, sys, res, x)
+	if !ok {
+		return
+	}
 	reprs := reduction.SpawnLowerWheel(sys, susp, x)
 	wire := rbcast.WireTag(sim.Intern("wheel.xmove"))
 	mark := sim.Time(c.Param("mark", 0))
@@ -391,7 +548,17 @@ func runPsiOmega(c *Cell, res *CellResult) {
 		panic(err)
 	}
 	y, z := c.Combo.Y, c.Combo.Z
-	psi := fd.WrapPsi(fd.NewPhi(sys, y))
+	opts, eventual, ok := oraclePhiOpts(c, sys, res)
+	if !ok {
+		return
+	}
+	var phi *fd.Phi
+	if eventual {
+		phi = fd.NewEvtPhi(sys, y, opts...)
+	} else {
+		phi = fd.NewPhi(sys, y)
+	}
+	psi := fd.WrapPsi(phi)
 	po := reduction.NewPsiOmega(c.Size.N, c.Size.T, y, z, psi)
 	trace := fd.WatchLeader(sys, po)
 	rep := sys.Run(nil)
@@ -411,6 +578,11 @@ func runAddS(c *Cell, res *CellResult) {
 	sys, err := c.System()
 	if err != nil {
 		panic(err)
+	}
+	// add-s consumes two oracles (S_x and φ_y); a single-script oracle
+	// dimension point would be ambiguous, so the dimension is rejected.
+	if !requireNoOracle(c, res) {
+		return
 	}
 	x, y := c.Combo.X, c.Combo.Y
 	perpetual := c.Param("perpetual", 1) != 0
@@ -441,6 +613,9 @@ func runPhiO1(c *Cell, res *CellResult) {
 	sys, err := c.System()
 	if err != nil {
 		panic(err)
+	}
+	if !requireNoOracle(c, res) {
+		return
 	}
 	y := c.Combo.Y
 	phi := fd.NewPhi(sys, y)
@@ -474,6 +649,9 @@ func runPhiO1(c *Cell, res *CellResult) {
 // The region E comes from Combo.Region; Params: crash_at, slack (extra
 // horizon past τ).
 func runIrreducibility(c *Cell, res *CellResult) {
+	if !requireNoOracle(c, res) {
+		return
+	}
 	tau := sim.Time(c.Param("tau", 500))
 	slack := sim.Time(c.Param("slack", 2_000))
 	e := set(c.Combo.Region)
