@@ -446,7 +446,44 @@ func expF2(b *strings.Builder, run func(sweep.Matrix) *sweep.Report, seeds int) 
 			avgMeasure(cells, "stabilization"), avgMsgs(cells))
 	}
 	b.WriteString(tab.String())
-	verdict(b, r.OK(), "the emulated output satisfies Ω_{t+2−x−y} across the whole frontier x+y ≤ t+1")
+
+	// The theorem quantifies over *pairs* of oracles — any ◇S_x with any
+	// ◇φ_y — so the generated dimension must reach both roles at once:
+	// each pair family scripts the suspector and parameterizes the
+	// querier independently, and every cell carries per-role conformance
+	// verdicts (oracle_s, oracle_phi).
+	pairs := []adversary.OraclePairFamily{
+		// A conforming scope-churn ◇S_2 against a maximally-late ◇φ_1.
+		{S: adversary.OracleFamily{Kind: adversary.OracleScopeChurn, X: 2, Seed: 61, Settle: []int{1, 2}},
+			Phi: adversary.OracleFamily{Kind: adversary.OracleLateStab, Y: 1, Seed: 62, Start: 20_000, Ramp: 1}},
+		// A long-flapping suspector against an over-eager anarchic querier.
+		{S: adversary.OracleFamily{Kind: adversary.OracleScopeChurn, X: 2, Seed: 63, Flaps: 10, Period: 120, Settle: []int{1, 2}},
+			Phi: adversary.OracleFamily{Kind: adversary.OracleAnarchyBurst, Y: 1, Seed: 64, RatePermille: 950}},
+		// Both roles ground-truth, stabilizing late and staggered.
+		{S: adversary.OracleFamily{Kind: adversary.OracleLateStab, X: 2, Seed: 65, Start: 8_000, Ramp: 1},
+			Phi: adversary.OracleFamily{Kind: adversary.OracleLateStab, Y: 1, Seed: 66, Start: 12_000, Ramp: 1}},
+	}
+	rPair := run(sweep.Matrix{
+		Name: "F2-additivity-pairs", Protocol: "two-wheels",
+		Seeds: seedList(seeds), Sizes: []sweep.Size{{N: 5, T: t}},
+		Patterns:           []sweep.CrashPattern{{Name: "late-crash", Crashes: []sweep.CrashSpec{{Proc: 4, At: 800}}}},
+		OraclePairFamilies: pairs,
+		Combos:             []sweep.Combo{{X: 2, Y: 1}},
+		Bandwidth:          10,
+		GST:                600, MaxSteps: 160_000,
+		Params: map[string]int64{"stable_for": 12_000, "margin": 10_000},
+	})
+	tabP := &cliutil.Table{Markdown: true, Headers: []string{
+		"oracle pair", "classes", "S-role verdict", "φ-role verdict", "runs", "Ω_1 check", "avg stabilization vtick"}}
+	for _, g := range oracleGroups(rPair) {
+		tabP.Add(g.oracle, g.cells[0].OracleClass, roleOf(g.cells, sRole), roleOf(g.cells, phiRole),
+			len(g.cells), allPass(g.cells), avgMeasure(g.cells, "stabilization"))
+	}
+	b.WriteString("\n")
+	b.WriteString(tabP.String())
+	verdict(b, r.OK() && rPair.OK(),
+		"the emulated output satisfies Ω_{t+2−x−y} across the whole frontier x+y ≤ t+1, "+
+			"including under generated hostile oracle pairs driving both roles")
 }
 
 // expF3: k-set scaling.
@@ -619,7 +656,41 @@ func expF9(b *strings.Builder, run func(sweep.Matrix) *sweep.Report, seeds int) 
 	}
 	tab.Add("memory", "◇S_2 + ◇φ_1", "◇S_5 (eventual)", rEvt.OK())
 	b.WriteString(tab.String())
-	verdict(b, r.OK() && rEvt.OK(), "emulated SUSPECTED sets pass the class checker on every substrate")
+
+	// Generated hostile oracle pairs: add-s consumes two oracles, so the
+	// generated dimension reaches it only through paired scripts — one
+	// per role, each conformance-checked against its declared class.
+	pairs := []adversary.OraclePairFamily{
+		// A conforming scope-churn ◇S_2 against a maximally-late ◇φ_1.
+		{S: adversary.OracleFamily{Kind: adversary.OracleScopeChurn, X: 2, Seed: 71, Settle: []int{1, 2}},
+			Phi: adversary.OracleFamily{Kind: adversary.OracleLateStab, Y: 1, Seed: 72, Start: 16_000, Ramp: 1}},
+		// A long-flapping suspector against an over-eager anarchic querier.
+		{S: adversary.OracleFamily{Kind: adversary.OracleScopeChurn, X: 2, Seed: 73, Flaps: 8, Period: 100, Settle: []int{1, 2}},
+			Phi: adversary.OracleFamily{Kind: adversary.OracleAnarchyBurst, Y: 1, Seed: 74, RatePermille: 950}},
+		// Both roles ground-truth, stabilizing late and staggered.
+		{S: adversary.OracleFamily{Kind: adversary.OracleLateStab, X: 2, Seed: 75, Start: 6_000, Ramp: 1},
+			Phi: adversary.OracleFamily{Kind: adversary.OracleLateStab, Y: 1, Seed: 76, Start: 10_000, Ramp: 1}},
+	}
+	rPair := run(sweep.Matrix{
+		Name: "F9-add-s-pairs", Protocol: "add-s",
+		Seeds: seedList(seeds), Sizes: []sweep.Size{{N: 5, T: 2}},
+		Patterns:           []sweep.CrashPattern{{Name: "mid-crash", Crashes: []sweep.CrashSpec{{Proc: 3, At: 800}}}},
+		OraclePairFamilies: pairs,
+		Combos:             []sweep.Combo{{Name: "memory", X: 2, Y: 1}},
+		GST:                0, MaxSteps: 200_000,
+		Params: map[string]int64{"perpetual": 0, "margin": 10_000},
+	})
+	tabP := &cliutil.Table{Markdown: true, Headers: []string{
+		"oracle pair", "classes", "S-role verdict", "φ-role verdict", "runs", "◇S_5 check"}}
+	for _, g := range oracleGroups(rPair) {
+		tabP.Add(g.oracle, g.cells[0].OracleClass, roleOf(g.cells, sRole), roleOf(g.cells, phiRole),
+			len(g.cells), allPass(g.cells))
+	}
+	b.WriteString("\n")
+	b.WriteString(tabP.String())
+	verdict(b, r.OK() && rEvt.OK() && rPair.OK(),
+		"emulated SUSPECTED sets pass the class checker on every substrate, "+
+			"including under generated hostile oracle pairs driving both roles")
 }
 
 // expT5: Theorem 5 boundary.
@@ -891,15 +962,15 @@ func oracleGroups(r *sweep.Report) []*oracleGroup {
 	return order
 }
 
-// conformanceOf summarizes a group's conformance verdicts (identical
-// across seeds of one script×pattern by construction).
-func conformanceOf(cells []sweep.CellResult) string {
+// roleOf summarizes one verdict column across a group's cells
+// (identical across seeds of one script×pattern by construction).
+func roleOf(cells []sweep.CellResult, pick func(sweep.CellResult) string) string {
 	if len(cells) == 0 {
 		return "n/a"
 	}
-	v := cells[0].OracleConformance
+	v := pick(cells[0])
 	for _, c := range cells {
-		if c.OracleConformance != v {
+		if pick(c) != v {
 			return "mixed"
 		}
 	}
@@ -908,6 +979,15 @@ func conformanceOf(cells []sweep.CellResult) string {
 	}
 	return v
 }
+
+// conformanceOf summarizes a group's joint conformance verdicts.
+func conformanceOf(cells []sweep.CellResult) string {
+	return roleOf(cells, func(c sweep.CellResult) string { return c.OracleConformance })
+}
+
+// sRole and phiRole pick the per-role verdicts of paired-oracle cells.
+func sRole(c sweep.CellResult) string   { return c.OracleS }
+func phiRole(c sweep.CellResult) string { return c.OraclePhi }
 
 // expOracle: generated hostile-oracle families as a sweep dimension —
 // the classes are defined by what their oracles may do, so the oracle

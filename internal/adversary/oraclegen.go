@@ -60,13 +60,17 @@ const (
 
 // OracleFamily declares one generated oracle dimension point: a script
 // kind, the class it claims to stay inside (Z for Ω_z timelines, X for
-// ◇S_x timelines), and its knobs. Zero knobs default per kind; Variants
-// is how many concrete scripts the family expands into (default 1),
-// each drawn deterministically from Seed.
+// ◇S_x timelines, Y for φ_y parameter scripts), and its knobs. Zero
+// knobs default per kind; Variants is how many concrete scripts the
+// family expands into (default 1), each drawn deterministically from
+// Seed. Timeline kinds always carry their class knob; parameter kinds
+// carry Z/X/Y only when declared here, so an undeclared scope composes
+// with any combo while a declared one is validated against it.
 type OracleFamily struct {
 	Kind     string `json:"kind"`
 	Z        int    `json:"z,omitempty"` // declared Ω_z bound (leader scripts); 0 = 1
 	X        int    `json:"x,omitempty"` // declared ◇S_x scope (suspect scripts); 0 = t+1
+	Y        int    `json:"y,omitempty"` // declared φ_y scope (parameter scripts); 0 = undeclared
 	Variants int    `json:"variants,omitempty"`
 	Seed     int64  `json:"seed,omitempty"`
 
@@ -86,15 +90,17 @@ type OracleFamily struct {
 	Epoch        sim.Time `json:"epoch,omitempty"`         // anarchy epoch override; 0 = leave default
 }
 
-// OracleScript is one concrete generated oracle: either an explicit
-// timeline (Leader or Suspect non-empty) or a parameter configuration
-// for a ground-truth oracle. The zero value means "no generated oracle"
-// — the cell runs whatever oracle its protocol builds by default.
+// OracleScript is one concrete generated oracle: an explicit timeline
+// (Leader or Suspect non-empty), a parameter configuration for a
+// ground-truth oracle, or a Pair of per-role scripts for the addition
+// protocols. The zero value means "no generated oracle" — the cell runs
+// whatever oracle its protocol builds by default.
 type OracleScript struct {
 	Name string `json:"name,omitempty"`
 	Kind string `json:"kind,omitempty"`
 	Z    int    `json:"z,omitempty"`
 	X    int    `json:"x,omitempty"`
+	Y    int    `json:"y,omitempty"`
 
 	Leader  []fd.LeaderStep  `json:"leader,omitempty"`
 	Suspect []fd.SuspectStep `json:"suspect,omitempty"`
@@ -102,6 +108,24 @@ type OracleScript struct {
 	StabilizeAt  sim.Time `json:"stabilize_at,omitempty"`
 	RatePermille int      `json:"rate_permille,omitempty"`
 	Epoch        sim.Time `json:"epoch,omitempty"`
+
+	// Pair carries the two role scripts of a paired oracle (see
+	// OraclePairFamily). When set, the top-level timeline and parameter
+	// fields above are unused; each role script is a complete single-role
+	// OracleScript of its own.
+	Pair *OraclePair `json:"pair,omitempty"`
+}
+
+// OraclePairKind is the Kind of scripts produced by ExpandPair.
+const OraclePairKind = "pair"
+
+// OraclePair is the payload of a paired script: one script per oracle
+// role of an addition protocol. S feeds the suspector role (a suspect
+// timeline or ground-truth S_x/◇S_x parameters, scope S.X), Phi feeds
+// the querier role (ground-truth φ_y/◇φ_y parameters, scope Phi.Y).
+type OraclePair struct {
+	S   OracleScript `json:"s"`
+	Phi OracleScript `json:"phi"`
 }
 
 // None reports whether the script is the zero "no generated oracle"
@@ -109,12 +133,18 @@ type OracleScript struct {
 func (s *OracleScript) None() bool { return s.Name == "" }
 
 // IsTimeline reports whether the script carries an explicit output
-// timeline (as opposed to ground-truth oracle parameters).
+// timeline (as opposed to ground-truth oracle parameters or a pair).
 func (s *OracleScript) IsTimeline() bool { return len(s.Leader) > 0 || len(s.Suspect) > 0 }
+
+// IsPair reports whether the script carries per-role scripts for an
+// addition protocol.
+func (s *OracleScript) IsPair() bool { return s.Pair != nil }
 
 // Class renders the declared class label for reports.
 func (s *OracleScript) Class() string {
 	switch {
+	case s.Pair != nil:
+		return s.Pair.Class()
 	case len(s.Leader) > 0:
 		return fmt.Sprintf("omega-%d", s.Z)
 	case len(s.Suspect) > 0:
@@ -122,6 +152,18 @@ func (s *OracleScript) Class() string {
 	default:
 		return "ground-truth"
 	}
+}
+
+// Class renders the pair's joint class label: the S role's class, then
+// the φ role's. Ground-truth roles are labelled by the scope they were
+// generated for ("gt-s-2", "gt-phi-1"), scripted suspector roles keep
+// the timeline label ("evt-s-2").
+func (p *OraclePair) Class() string {
+	s := fmt.Sprintf("gt-s-%d", p.S.X)
+	if len(p.S.Suspect) > 0 {
+		s = fmt.Sprintf("evt-s-%d", p.S.X)
+	}
+	return s + "+" + fmt.Sprintf("gt-phi-%d", p.Phi.Y)
 }
 
 // Options renders a parameter script as ground-truth oracle options.
@@ -144,9 +186,20 @@ const conformMargin sim.Time = 64
 // Conformance checks the script against its declared class for one
 // failure pattern and horizon, via the fd/check.go checkers. It returns
 // nil for the zero script (no generated oracle, nothing to check).
+// Paired scripts check both roles against their eventual classes;
+// role-aware callers that know the cell's perpetual flag use the
+// OraclePair methods directly.
 func (s *OracleScript) Conformance(pat *sim.Pattern, horizon sim.Time) error {
 	switch {
 	case s.None():
+		return nil
+	case s.Pair != nil:
+		if err := s.Pair.SConformance(pat, horizon, false); err != nil {
+			return fmt.Errorf("S role: %w", err)
+		}
+		if err := s.Pair.PhiConformance(pat, horizon, false); err != nil {
+			return fmt.Errorf("phi role: %w", err)
+		}
 		return nil
 	case len(s.Leader) > 0:
 		return fd.CheckLeaderScript(s.Leader, pat, s.Z, horizon, conformMargin)
@@ -155,6 +208,25 @@ func (s *OracleScript) Conformance(pat *sim.Pattern, horizon sim.Time) error {
 	default:
 		return fd.CheckOracleParams(s.StabilizeAt, s.RatePermille, s.Epoch, horizon, conformMargin)
 	}
+}
+
+// SConformance checks the pair's suspector role against its declared
+// class — S_x when perpetual, ◇S_x otherwise — for one failure pattern
+// and horizon. Timeline roles go through the full per-pattern script
+// checker; parameter roles through the role-aware parameter checker.
+func (p *OraclePair) SConformance(pat *sim.Pattern, horizon sim.Time, perpetual bool) error {
+	if len(p.S.Suspect) > 0 {
+		return fd.CheckSuspectScript(p.S.Suspect, pat, p.S.X, perpetual, horizon, conformMargin)
+	}
+	return fd.CheckSuspectorParams(p.S.X, pat.N(), perpetual,
+		p.S.StabilizeAt, p.S.RatePermille, p.S.Epoch, horizon, conformMargin)
+}
+
+// PhiConformance checks the pair's querier role against its declared
+// class — φ_y when perpetual, ◇φ_y otherwise.
+func (p *OraclePair) PhiConformance(pat *sim.Pattern, horizon sim.Time, perpetual bool) error {
+	return fd.CheckQuerierParams(p.Phi.Y, pat.N(), perpetual,
+		p.Phi.StabilizeAt, p.Phi.RatePermille, p.Phi.Epoch, horizon, conformMargin)
 }
 
 // OracleGen expands oracle families against one system size, carrying no
@@ -215,7 +287,11 @@ func (g OracleGen) Expand(f OracleFamily) ([]OracleScript, error) {
 			return nil, fmt.Errorf("adversary: oracle family %q declares x=%d > n=%d", f.Kind, x, g.N)
 		}
 	case OracleAnarchyBurst, OracleLateStab:
-		// Parameter scripts: no size-dependent class knob to validate.
+		// Parameter scripts validate class knobs only when declared: an
+		// undeclared scope composes with any combo's oracle.
+		if f.Z < 0 || f.Z > g.N || f.X < 0 || f.X > g.N || f.Y < 0 || f.Y > g.N {
+			return nil, fmt.Errorf("adversary: oracle family %q declares scope z=%d/x=%d/y=%d outside 0..%d", f.Kind, f.Z, f.X, f.Y, g.N)
+		}
 	default:
 		return nil, fmt.Errorf("adversary: unknown oracle family kind %q", f.Kind)
 	}
@@ -237,13 +313,19 @@ func (g OracleGen) Expand(f OracleFamily) ([]OracleScript, error) {
 	out := make([]OracleScript, 0, variants)
 	for v := 0; v < variants; v++ {
 		r := newDraw(f.Seed, int64(v), int64(g.N), int64(g.T), kindSalt(f.Kind))
-		s := OracleScript{Kind: f.Kind, Z: z, X: x}
+		// Timeline scripts always carry the class knob their timeline was
+		// drawn for; parameter scripts carry only the scopes the family
+		// declared (see OracleFamily), so the zero value keeps composing
+		// with any combo while a declared scope is validated against it.
+		s := OracleScript{Kind: f.Kind, Z: f.Z, X: f.X, Y: f.Y}
 		switch f.Kind {
 		case OracleLeaderFlap:
+			s.Z, s.X, s.Y = z, x, 0
 			s.Name = fmt.Sprintf("%s-z%d-s%d-v%d", f.Kind, z, f.Seed, v)
 			s.StabilizeAt = stab
 			s.Leader = g.leaderFlap(r, z, start, period, flaps, stab, settle)
 		case OracleScopeChurn:
+			s.Z, s.X, s.Y = z, x, 0
 			s.Name = fmt.Sprintf("%s-x%d-s%d-v%d", f.Kind, x, f.Seed, v)
 			s.StabilizeAt = stab
 			s.Suspect = g.scopeChurn(r, x, start, period, flaps, stab, settle)
@@ -372,20 +454,107 @@ func (g OracleGen) scopeChurn(r *draw, x int, start, period sim.Time, flaps int,
 // distinct dimension points indistinguishable; that is rejected here
 // rather than silently merged downstream.
 func (g OracleGen) ExpandAll(fams []OracleFamily) ([]OracleScript, error) {
+	return g.ExpandSuite(fams, nil)
+}
+
+// OraclePairFamily declares one paired oracle dimension point for the
+// addition protocols, which consume two oracles at once (two-wheels
+// reads a ◇S_x and a ◇φ_y, add-s an S_x and a φ_y). Each role is its
+// own OracleFamily: the S role may be a scope-churn timeline or a
+// parameter family (its X declares the suspector scope, defaulting to
+// t+1), the Phi role must be a parameter family — queriers have no
+// timeline driver — with Y declaring the querier scope (default 1).
+// The two role expansions are zipped variant by variant; a one-variant
+// role broadcasts across the other's variants, so "one conforming ◇S_x
+// against a ramp of ever-later ◇φ_y" is a single family with
+// Phi.Variants = k.
+type OraclePairFamily struct {
+	S   OracleFamily `json:"s"`
+	Phi OracleFamily `json:"phi"`
+}
+
+// ExpandPair turns one pair family into its concrete joint scripts.
+func (g OracleGen) ExpandPair(f OraclePairFamily) ([]OracleScript, error) {
+	sf, pf := f.S, f.Phi
+	switch sf.Kind {
+	case OracleScopeChurn, OracleAnarchyBurst, OracleLateStab:
+	case OracleLeaderFlap:
+		return nil, fmt.Errorf("adversary: oracle pair S role is a %q family — the role is read as a suspector", sf.Kind)
+	default:
+		return nil, fmt.Errorf("adversary: unknown oracle pair S role kind %q", sf.Kind)
+	}
+	switch pf.Kind {
+	case OracleAnarchyBurst, OracleLateStab:
+	default:
+		return nil, fmt.Errorf("adversary: oracle pair phi role must be a parameter family (%s or %s), not %q — queriers have no timeline driver", OracleAnarchyBurst, OracleLateStab, pf.Kind)
+	}
+	// Pair roles always declare their scopes: the addition protocols read
+	// both, so a silent "compose with anything" default would defeat the
+	// per-role conformance verdicts.
+	if sf.X <= 0 {
+		sf.X = g.T + 1
+	}
+	if pf.Y <= 0 {
+		pf.Y = 1
+	}
+	ss, err := g.Expand(sf)
+	if err != nil {
+		return nil, fmt.Errorf("oracle pair S role: %w", err)
+	}
+	ps, err := g.Expand(pf)
+	if err != nil {
+		return nil, fmt.Errorf("oracle pair phi role: %w", err)
+	}
+	if len(ss) != len(ps) && len(ss) != 1 && len(ps) != 1 {
+		return nil, fmt.Errorf("adversary: oracle pair roles expand to %d and %d variants — they zip only when equal or one side is a single variant", len(ss), len(ps))
+	}
+	count := max(len(ss), len(ps))
+	out := make([]OracleScript, 0, count)
+	for v := 0; v < count; v++ {
+		a := ss[min(v, len(ss)-1)]
+		b := ps[min(v, len(ps)-1)]
+		out = append(out, OracleScript{
+			Name: a.Name + "+" + b.Name,
+			Kind: OraclePairKind,
+			Pair: &OraclePair{S: a, Phi: b},
+		})
+	}
+	return out, nil
+}
+
+// ExpandSuite expands single-script families and pair families into one
+// script list (singles first), sharing the duplicate-name rejection of
+// ExpandAll across both dimensions.
+func (g OracleGen) ExpandSuite(fams []OracleFamily, pairs []OraclePairFamily) ([]OracleScript, error) {
 	var out []OracleScript
 	seen := make(map[string]bool)
+	add := func(ss []OracleScript) error {
+		for _, s := range ss {
+			if seen[s.Name] {
+				return fmt.Errorf("adversary: oracle families expand to duplicate script name %q — give same-kind families distinct seeds", s.Name)
+			}
+			seen[s.Name] = true
+		}
+		out = append(out, ss...)
+		return nil
+	}
 	for _, f := range fams {
 		ss, err := g.Expand(f)
 		if err != nil {
 			return nil, err
 		}
-		for _, s := range ss {
-			if seen[s.Name] {
-				return nil, fmt.Errorf("adversary: oracle families expand to duplicate script name %q — give same-kind families distinct seeds", s.Name)
-			}
-			seen[s.Name] = true
+		if err := add(ss); err != nil {
+			return nil, err
 		}
-		out = append(out, ss...)
+	}
+	for _, f := range pairs {
+		ss, err := g.ExpandPair(f)
+		if err != nil {
+			return nil, err
+		}
+		if err := add(ss); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -217,9 +217,143 @@ func TestOracleGenRejects(t *testing.T) {
 		{Kind: OracleLeaderFlap, Settle: []int{9}},
 		{Kind: OracleLeaderFlap, Z: 1, Settle: []int{1, 2}},
 		{Kind: OracleScopeChurn, X: 3, Settle: []int{1, 2}},
+		{Kind: OracleLateStab, Y: 9},
+		{Kind: OracleAnarchyBurst, X: -1},
 	} {
 		if _, err := g.Expand(f); err == nil {
 			t.Errorf("family %+v accepted", f)
 		}
+	}
+}
+
+// TestParamScriptsDeclaredScopesOnly: parameter scripts carry class
+// knobs only when the family declares them — the zero value composes
+// with any combo — while timeline scripts always carry theirs.
+func TestParamScriptsDeclaredScopesOnly(t *testing.T) {
+	g := NewOracleGen(8, 3)
+	undeclared, err := g.Expand(OracleFamily{Kind: OracleLateStab, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := undeclared[0]; s.Z != 0 || s.X != 0 || s.Y != 0 {
+		t.Errorf("undeclared param script carries scopes z=%d x=%d y=%d, want all 0", s.Z, s.X, s.Y)
+	}
+	declared, err := g.Expand(OracleFamily{Kind: OracleAnarchyBurst, Seed: 2, X: 2, Y: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := declared[0]; s.X != 2 || s.Y != 1 {
+		t.Errorf("declared param script carries x=%d y=%d, want 2, 1", s.X, s.Y)
+	}
+	timeline, err := g.Expand(OracleFamily{Kind: OracleScopeChurn, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := timeline[0]; s.X != 4 { // t+1 default
+		t.Errorf("scope-churn timeline carries x=%d, want defaulted 4", s.X)
+	}
+}
+
+// TestExpandPair: pair expansion is deterministic, zips role variants,
+// broadcasts a one-variant role, and defaults the role scopes.
+func TestExpandPair(t *testing.T) {
+	g := NewOracleGen(8, 3)
+	f := OraclePairFamily{
+		S:   OracleFamily{Kind: OracleScopeChurn, Seed: 1, Settle: []int{1, 2, 3, 4}},
+		Phi: OracleFamily{Kind: OracleLateStab, Seed: 2, Variants: 3, Start: 400, Ramp: 100},
+	}
+	a, err := g.ExpandPair(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.ExpandPair(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("pair expansion is not deterministic")
+	}
+	if len(a) != 3 {
+		t.Fatalf("expanded %d joint scripts, want 3 (phi side broadcast)", len(a))
+	}
+	for v, s := range a {
+		if !s.IsPair() || s.Kind != OraclePairKind {
+			t.Fatalf("script %q is not a pair", s.Name)
+		}
+		if s.Pair.S.X != 4 { // defaulted to t+1
+			t.Errorf("variant %d S-role x=%d, want defaulted 4", v, s.Pair.S.X)
+		}
+		if s.Pair.Phi.Y != 1 {
+			t.Errorf("variant %d phi-role y=%d, want defaulted 1", v, s.Pair.Phi.Y)
+		}
+		if !reflect.DeepEqual(s.Pair.S, a[0].Pair.S) {
+			t.Errorf("variant %d: one-variant S role not broadcast", v)
+		}
+		if want := sim.Time(400 + v*100); s.Pair.Phi.StabilizeAt != want {
+			t.Errorf("variant %d phi role stabilizes at %d, want %d", v, s.Pair.Phi.StabilizeAt, want)
+		}
+		if want := s.Pair.S.Name + "+" + s.Pair.Phi.Name; s.Name != want {
+			t.Errorf("joint name %q, want %q", s.Name, want)
+		}
+	}
+	if a[0].Class() != "evt-s-4+gt-phi-1" {
+		t.Errorf("joint class %q, want evt-s-4+gt-phi-1", a[0].Class())
+	}
+
+	// A ground-truth S role renders its own class label.
+	gt, err := g.ExpandPair(OraclePairFamily{
+		S:   OracleFamily{Kind: OracleLateStab, Seed: 3, X: 2},
+		Phi: OracleFamily{Kind: OracleAnarchyBurst, Seed: 4, Y: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt[0].Class() != "gt-s-2+gt-phi-2" {
+		t.Errorf("joint class %q, want gt-s-2+gt-phi-2", gt[0].Class())
+	}
+}
+
+// TestExpandPairRejects: wrong-role kinds and non-zippable variant
+// counts fail expansion loudly.
+func TestExpandPairRejects(t *testing.T) {
+	g := NewOracleGen(8, 3)
+	for _, f := range []OraclePairFamily{
+		{S: OracleFamily{Kind: OracleLeaderFlap}, Phi: OracleFamily{Kind: OracleLateStab}},
+		{S: OracleFamily{Kind: OracleScopeChurn}, Phi: OracleFamily{Kind: OracleScopeChurn}},
+		{S: OracleFamily{Kind: OracleScopeChurn}, Phi: OracleFamily{Kind: OracleLeaderFlap}},
+		{S: OracleFamily{Kind: "no-such-kind"}, Phi: OracleFamily{Kind: OracleLateStab}},
+		{S: OracleFamily{Kind: OracleScopeChurn, Variants: 2}, Phi: OracleFamily{Kind: OracleLateStab, Variants: 3}},
+		{S: OracleFamily{Kind: OracleScopeChurn, X: 9}, Phi: OracleFamily{Kind: OracleLateStab}},
+		{S: OracleFamily{Kind: OracleScopeChurn}, Phi: OracleFamily{Kind: OracleLateStab, Y: 9}},
+	} {
+		if _, err := g.ExpandPair(f); err == nil {
+			t.Errorf("pair family %+v accepted", f)
+		}
+	}
+}
+
+// TestExpandSuiteDedup: singles and pairs share one name space, and a
+// pair family colliding with itself is rejected like a single would be.
+func TestExpandSuiteDedup(t *testing.T) {
+	g := NewOracleGen(8, 3)
+	pair := OraclePairFamily{
+		S:   OracleFamily{Kind: OracleScopeChurn, Seed: 5},
+		Phi: OracleFamily{Kind: OracleLateStab, Seed: 6},
+	}
+	out, err := g.ExpandSuite(
+		[]OracleFamily{{Kind: OracleLateStab, Seed: 7}},
+		[]OraclePairFamily{pair},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("suite expanded %d scripts, want 2", len(out))
+	}
+	if out[0].IsPair() || !out[1].IsPair() {
+		t.Fatal("suite order: singles must precede pairs")
+	}
+	if _, err := g.ExpandSuite(nil, []OraclePairFamily{pair, pair}); err == nil {
+		t.Error("duplicate pair names accepted")
 	}
 }

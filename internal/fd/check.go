@@ -272,3 +272,41 @@ func CheckOracleParams(stabilizeAt sim.Time, ratePermille int, epoch, horizon, m
 	}
 	return nil
 }
+
+// CheckSuspectorParams validates a generated parameter script for the
+// suspector role of an addition protocol against its declared class —
+// S_x when perpetual, ◇S_x otherwise. The ground-truth construction
+// keeps any legal parameterization inside the eventual class, so the
+// role-specific constraints are the scope range and the perpetual
+// flavor admitting no misbehaving prefix: a stabilization time declares
+// exactly such a prefix, while an anarchy rate stays legal even for S_x
+// because hostile out-of-scope suspicion is perpetually admitted (only
+// the scope's members must spare the leader, which anarchy never
+// touches).
+func CheckSuspectorParams(x, n int, perpetual bool, stabilizeAt sim.Time, ratePermille int, epoch, horizon, minStable sim.Time) error {
+	if x < 1 || x > n {
+		return fmt.Errorf("fd: S-role params: declared x=%d out of range 1..%d", x, n)
+	}
+	if perpetual && stabilizeAt > 0 {
+		return fmt.Errorf("fd: S-role params: stabilization at %d declares a misbehaving prefix, but S_%d is a perpetual class", stabilizeAt, x)
+	}
+	return CheckOracleParams(stabilizeAt, ratePermille, epoch, horizon, minStable)
+}
+
+// CheckQuerierParams is the querier-role counterpart: φ_y when
+// perpetual, ◇φ_y otherwise. Unlike the suspector role, an anarchy rate
+// is a violation for the perpetual flavor — a querier's anarchy makes
+// it answer queries arbitrarily, which φ_y never may, not even outside
+// any scope.
+func CheckQuerierParams(y, n int, perpetual bool, stabilizeAt sim.Time, ratePermille int, epoch, horizon, minStable sim.Time) error {
+	if y < 0 || y > n {
+		return fmt.Errorf("fd: phi-role params: declared y=%d out of range 0..%d", y, n)
+	}
+	if perpetual && stabilizeAt > 0 {
+		return fmt.Errorf("fd: phi-role params: stabilization at %d declares a misbehaving prefix, but phi_%d is a perpetual class", stabilizeAt, y)
+	}
+	if perpetual && ratePermille > 0 {
+		return fmt.Errorf("fd: phi-role params: anarchy rate %d‰ makes queries arbitrary, which perpetual phi_%d never admits", ratePermille, y)
+	}
+	return CheckOracleParams(stabilizeAt, ratePermille, epoch, horizon, minStable)
+}

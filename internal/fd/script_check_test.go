@@ -130,6 +130,46 @@ func TestCheckOracleParams(t *testing.T) {
 	}
 }
 
+// TestCheckRoleParams: the role-aware parameter checkers enforce the
+// scope ranges and the perpetual-class rules — no misbehaving prefix
+// for either role, no anarchy at all for a perpetual querier (which
+// stays legal for a perpetual suspector: hostile out-of-scope suspicion
+// is perpetually admitted) — on top of the shared parameter legality.
+func TestCheckRoleParams(t *testing.T) {
+	const n, hor, marg = 5, 6_000, 1_000
+	if err := CheckSuspectorParams(2, n, false, 500, 400, 16, hor, marg); err != nil {
+		t.Errorf("legal eventual S-role params rejected: %v", err)
+	}
+	if err := CheckSuspectorParams(2, n, true, 0, 400, 0, hor, marg); err != nil {
+		t.Errorf("perpetual S-role with anarchy rejected (hostile anarchy is legal for S_x): %v", err)
+	}
+	if err := CheckQuerierParams(1, n, false, 500, 400, 16, hor, marg); err != nil {
+		t.Errorf("legal eventual phi-role params rejected: %v", err)
+	}
+	if err := CheckQuerierParams(0, n, true, 0, 0, 0, hor, marg); err != nil {
+		t.Errorf("legal perpetual phi-role params rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		err  error
+	}{
+		{"S scope under", CheckSuspectorParams(0, n, false, 0, 0, 0, hor, marg)},
+		{"S scope over", CheckSuspectorParams(n+1, n, false, 0, 0, 0, hor, marg)},
+		{"perpetual S with stab", CheckSuspectorParams(2, n, true, 500, 0, 0, hor, marg)},
+		{"S no suffix", CheckSuspectorParams(2, n, false, hor-marg+1, 0, 0, hor, marg)},
+		{"phi scope under", CheckQuerierParams(-1, n, false, 0, 0, 0, hor, marg)},
+		{"phi scope over", CheckQuerierParams(n+1, n, false, 0, 0, 0, hor, marg)},
+		{"perpetual phi with stab", CheckQuerierParams(1, n, true, 500, 0, 0, hor, marg)},
+		{"perpetual phi with anarchy", CheckQuerierParams(1, n, true, 0, 400, 0, hor, marg)},
+		{"phi rate over", CheckQuerierParams(1, n, false, 0, 1_001, 0, hor, marg)},
+	}
+	for _, b := range bad {
+		if b.err == nil {
+			t.Errorf("%s accepted", b.name)
+		}
+	}
+}
+
 // TestScriptedEqualAtStable: with sort.SliceStable, equal-At steps keep
 // their authored order and the later-listed one is the step in effect.
 func TestScriptedEqualAtStable(t *testing.T) {

@@ -167,6 +167,8 @@ func Run(m Matrix, opt Options) (*Report, error) {
 			rep.Passed++
 		case Fail:
 			rep.Failed++
+		case ConfigError:
+			rep.ConfigErrors++
 		default:
 			rep.Errored++
 		}

@@ -117,6 +117,15 @@ type Matrix struct {
 	// and tag every cell with the script's conformance verdict.
 	OracleFamilies []adversary.OracleFamily `json:"oracle_families,omitempty"`
 
+	// OraclePairFamilies declares generated paired-oracle dimension
+	// points for the addition protocols (two-wheels, add-s), which read
+	// two oracles at once. Each pair family expands per size into joint
+	// scripts carrying one script per role (adversary.ExpandPair),
+	// appended after the single-script expansions in the oracle
+	// dimension — same deterministic-expansion and zero-point-when-
+	// absent contract as OracleFamilies.
+	OraclePairFamilies []adversary.OraclePairFamily `json:"oracle_pair_families,omitempty"`
+
 	// GST and MaxSteps apply to every cell; Bandwidth 0 means "n".
 	GST       sim.Time `json:"gst"`
 	MaxSteps  sim.Time `json:"max_steps"`
@@ -228,15 +237,16 @@ func (m *Matrix) patternsFor(size Size) ([]CrashPattern, error) {
 }
 
 // oraclesFor resolves the matrix's generated-oracle dimension for one
-// size: the expansion of every oracle family, or a single zero-value
-// point when the matrix declares none. Sizes expand independently
-// because drawn timelines and scopes depend on (n, t).
+// size: the expansion of every oracle family (singles, then pairs), or
+// a single zero-value point when the matrix declares none of either.
+// Sizes expand independently because drawn timelines and scopes depend
+// on (n, t).
 func (m *Matrix) oraclesFor(size Size) ([]adversary.OracleScript, error) {
-	if len(m.OracleFamilies) == 0 {
+	if len(m.OracleFamilies) == 0 && len(m.OraclePairFamilies) == 0 {
 		return []adversary.OracleScript{{}}, nil
 	}
 	gen := adversary.NewOracleGen(size.N, size.T)
-	scripts, err := gen.ExpandAll(m.OracleFamilies)
+	scripts, err := gen.ExpandSuite(m.OracleFamilies, m.OraclePairFamilies)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: matrix %q size n=%d: %w", m.Name, size.N, err)
 	}

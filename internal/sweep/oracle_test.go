@@ -217,8 +217,8 @@ func TestOraclePinningInteraction(t *testing.T) {
 	for _, c := range r.Cells {
 		flap := strings.HasPrefix(c.Oracle, adversary.OracleLeaderFlap)
 		switch {
-		case flap && c.Verdict != Fail:
-			t.Errorf("cell %d (%s): timeline + pinned trusted set passed", c.Index, c.Oracle)
+		case flap && c.Verdict != ConfigError:
+			t.Errorf("cell %d (%s): timeline + pinned trusted set gave %s, want config_error", c.Index, c.Oracle, c.Verdict)
 		case flap && !strings.Contains(c.Detail, "pins a trusted set"):
 			t.Errorf("cell %d: detail %q", c.Index, c.Detail)
 		case !flap && c.Verdict != Pass:
@@ -230,6 +230,9 @@ func TestOraclePinningInteraction(t *testing.T) {
 			t.Errorf("cell %d decided %v, want one value", c.Index, c.Decided)
 		}
 	}
+	if r.ConfigErrors == 0 {
+		t.Error("report tallied no config errors")
+	}
 
 	m = oracleMatrix()
 	m.Params = map[string]int64{"stab0": 1}
@@ -237,9 +240,12 @@ func TestOraclePinningInteraction(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, c := range r.Cells {
-		if c.Verdict != Fail || !strings.Contains(c.Detail, "stab0 conflicts") {
+		if c.Verdict != ConfigError || !strings.Contains(c.Detail, "stab0 conflicts") {
 			t.Errorf("cell %d (%s): stab0 + script gave %s — %q", c.Index, c.Oracle, c.Verdict, c.Detail)
 		}
+	}
+	if r.OK() {
+		t.Error("config-error report claims OK")
 	}
 }
 
@@ -259,8 +265,231 @@ func TestOracleWrongProtocol(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, c := range r.Cells {
-		if c.Verdict != Fail || !strings.Contains(c.Detail, "does not consume") {
+		if c.Verdict != ConfigError || !strings.Contains(c.Detail, "does not consume") {
 			t.Errorf("cell %d: verdict %s detail %q", c.Index, c.Verdict, c.Detail)
+		}
+	}
+	if r.ConfigErrors != len(r.Cells) {
+		t.Errorf("tallied %d config errors, want %d", r.ConfigErrors, len(r.Cells))
+	}
+}
+
+// pairFamilies builds two hostile pair families matching a combo with
+// x=2, y=1 on n=5, t=2: a scope-churn suspector timeline against a
+// late-stabilizing querier, and a late-stabilizing ground-truth
+// suspector against a bursty anarchic querier.
+func pairFamilies() []adversary.OraclePairFamily {
+	return []adversary.OraclePairFamily{
+		{S: adversary.OracleFamily{Kind: adversary.OracleScopeChurn, X: 2, Seed: 11, Settle: []int{1, 2}},
+			Phi: adversary.OracleFamily{Kind: adversary.OracleLateStab, Y: 1, Seed: 12, Start: 4_000, Ramp: 1}},
+		{S: adversary.OracleFamily{Kind: adversary.OracleLateStab, X: 2, Seed: 13, Start: 2_000, Ramp: 1},
+			Phi: adversary.OracleFamily{Kind: adversary.OracleAnarchyBurst, Y: 1, Seed: 14}},
+	}
+}
+
+// pairMatrix is a small paired-oracle sweep over an addition protocol.
+func pairMatrix(protocol string) Matrix {
+	m := Matrix{
+		Name: "oracle-pairs-" + protocol, Protocol: protocol,
+		Seeds:              []int64{0},
+		Sizes:              []Size{{N: 5, T: 2}},
+		OraclePairFamilies: pairFamilies(),
+		Combos:             []Combo{{X: 2, Y: 1}},
+		GST:                400, MaxSteps: 160_000,
+		Params: map[string]int64{"stable_for": 12_000, "margin": 10_000},
+	}
+	if protocol == "add-s" {
+		m.Combos = []Combo{{Name: "memory", X: 2, Y: 1}}
+		m.Params = map[string]int64{"perpetual": 0, "margin": 10_000}
+	}
+	return m
+}
+
+// TestOraclePairTwoWheels: paired scripts drive both roles of the
+// two-wheels addition, every cell passes with per-role conformance
+// verdicts, and the report stays byte-reproducible across worker
+// counts.
+func TestOraclePairTwoWheels(t *testing.T) {
+	m := pairMatrix("two-wheels")
+	r1, err := Run(m, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Run(m, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Cells) != 2 {
+		t.Fatalf("expanded %d cells, want 2", len(r1.Cells))
+	}
+	wantClass := []string{"evt-s-2+gt-phi-1", "gt-s-2+gt-phi-1"}
+	for i, c := range r1.Cells {
+		if c.Verdict != Pass {
+			t.Errorf("cell %d (%s): %s — %s", c.Index, c.Oracle, c.Verdict, c.Detail)
+		}
+		if c.OracleClass != wantClass[i] {
+			t.Errorf("cell %d class %q, want %q", c.Index, c.OracleClass, wantClass[i])
+		}
+		if c.OracleS != "conforms" || c.OraclePhi != "conforms" || c.OracleConformance != "conforms" {
+			t.Errorf("cell %d role verdicts: s=%q phi=%q joint=%q", c.Index, c.OracleS, c.OraclePhi, c.OracleConformance)
+		}
+		if !strings.Contains(c.Oracle, "+") {
+			t.Errorf("cell %d oracle name %q is not a joint name", c.Index, c.Oracle)
+		}
+	}
+	b1, _ := r1.CanonicalJSON()
+	b4, _ := r4.CanonicalJSON()
+	if !bytes.Equal(b1, b4) {
+		t.Fatal("pair sweep reports differ across worker counts")
+	}
+}
+
+// TestOraclePairAddS: add-s consumes the paired dimension (previously
+// rejected outright), emulating S_n from hostile per-role scripts.
+func TestOraclePairAddS(t *testing.T) {
+	r, err := Run(pairMatrix("add-s"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Cells {
+		if c.Verdict != Pass {
+			t.Errorf("cell %d (%s): %s — %s", c.Index, c.Oracle, c.Verdict, c.Detail)
+		}
+		if c.OracleS != "conforms" || c.OraclePhi != "conforms" {
+			t.Errorf("cell %d role verdicts: s=%q phi=%q", c.Index, c.OracleS, c.OraclePhi)
+		}
+		if c.Steps == 0 {
+			t.Errorf("cell %d did not run", c.Index)
+		}
+	}
+}
+
+// TestOraclePairRejections: every pair rejection path reports a config
+// error, not a protocol failure.
+func TestOraclePairRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Matrix)
+		want   string
+	}{
+		{"pair-on-leader-protocol", func(m *Matrix) {
+			m.Protocol = "kset-omega"
+			m.Combos = []Combo{{Z: 1}}
+		}, "reads a single leader"},
+		{"pair-on-querier-protocol", func(m *Matrix) {
+			m.Protocol = "psi-omega"
+			m.Combos = []Combo{{Y: 1, Z: 2}}
+		}, "reads a single querier"},
+		{"pair-on-suspector-protocol", func(m *Matrix) {
+			m.Protocol = "consensus-ds"
+			m.Combos = []Combo{{}}
+		}, "reads a single suspector"},
+		{"s-role-scope-mismatch", func(m *Matrix) {
+			m.Combos = []Combo{{X: 3, Y: 1}}
+		}, "S-role x=2, combo wants x=3"},
+		{"phi-role-scope-mismatch", func(m *Matrix) {
+			m.Combos = []Combo{{X: 2, Y: 0}}
+		}, "phi-role y=1, combo wants y=0"},
+		{"stab0-conflict", func(m *Matrix) {
+			m.Params = map[string]int64{"stab0": 1, "stable_for": 12_000, "margin": 10_000}
+		}, "stab0 conflicts"},
+		{"trusted-conflict", func(m *Matrix) {
+			m.Combos = []Combo{{X: 2, Y: 1, Trusted: []int{1}}}
+		}, "scripts the suspector role"},
+		{"single-script-on-add-s", func(m *Matrix) {
+			m.Protocol = "add-s"
+			m.Combos = []Combo{{Name: "memory", X: 2, Y: 1}}
+			m.OraclePairFamilies = nil
+			m.OracleFamilies = []adversary.OracleFamily{{Kind: adversary.OracleLateStab, Seed: 15}}
+		}, "does not consume"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := pairMatrix("two-wheels")
+			tc.mutate(&m)
+			r, err := Run(m, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Cells) == 0 {
+				t.Fatal("no cells")
+			}
+			for _, c := range r.Cells {
+				if c.Verdict != ConfigError {
+					t.Errorf("cell %d (%s): verdict %s — %s", c.Index, c.Oracle, c.Verdict, c.Detail)
+				}
+				if !strings.Contains(c.Detail, tc.want) {
+					t.Errorf("cell %d detail %q, want substring %q", c.Index, c.Detail, tc.want)
+				}
+				if c.Steps != 0 {
+					t.Errorf("cell %d ran %d steps despite the config error", c.Index, c.Steps)
+				}
+			}
+			if r.ConfigErrors != len(r.Cells) {
+				t.Errorf("tallied %d config errors, want %d", r.ConfigErrors, len(r.Cells))
+			}
+		})
+	}
+}
+
+// TestOraclePairNonconforming: a pair whose S-role settle set the
+// pattern crashes fails the cell as a genuine violation (not a config
+// error), with the blame on the S role and no protocol run.
+func TestOraclePairNonconforming(t *testing.T) {
+	m := pairMatrix("two-wheels")
+	m.Patterns = []CrashPattern{{Name: "settle-crashes",
+		Crashes: []CrashSpec{{Proc: 1, At: 50}}}}
+	r, err := Run(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw := false
+	for _, c := range r.Cells {
+		if !strings.HasPrefix(c.Oracle, adversary.OracleScopeChurn) {
+			continue // the ground-truth S role is pattern-aware and stays in class
+		}
+		saw = true
+		if c.Verdict != Fail {
+			t.Errorf("cell %d (%s): verdict %s, want fail", c.Index, c.Oracle, c.Verdict)
+		}
+		if !strings.HasPrefix(c.OracleS, "violates:") {
+			t.Errorf("cell %d OracleS %q", c.Index, c.OracleS)
+		}
+		if c.OraclePhi != "conforms" {
+			t.Errorf("cell %d OraclePhi %q", c.Index, c.OraclePhi)
+		}
+		if !strings.HasPrefix(c.OracleConformance, "violates: S role:") {
+			t.Errorf("cell %d joint verdict %q", c.Index, c.OracleConformance)
+		}
+		if c.Steps != 0 {
+			t.Errorf("cell %d ran %d steps over an out-of-class pair", c.Index, c.Steps)
+		}
+	}
+	if !saw {
+		t.Fatal("no scope-churn pair cells in the report")
+	}
+}
+
+// TestOraclePairPerpetualMismatch: on the perpetual add-s, a pair whose
+// roles stabilize late (declaring a misbehaving prefix) violates the
+// perpetual classes S_x and φ_y, and both role verdicts say so.
+func TestOraclePairPerpetualMismatch(t *testing.T) {
+	m := pairMatrix("add-s")
+	m.OraclePairFamilies = pairFamilies()[1:] // both roles parameter scripts
+	m.Params = map[string]int64{"perpetual": 1, "margin": 10_000}
+	r, err := Run(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Cells {
+		if c.Verdict != Fail {
+			t.Errorf("cell %d (%s): verdict %s — %s", c.Index, c.Oracle, c.Verdict, c.Detail)
+		}
+		if !strings.Contains(c.OracleS, "perpetual") {
+			t.Errorf("cell %d OracleS %q, want a perpetual-class violation", c.Index, c.OracleS)
+		}
+		if !strings.Contains(c.OraclePhi, "perpetual") {
+			t.Errorf("cell %d OraclePhi %q, want a perpetual-class violation", c.Index, c.OraclePhi)
 		}
 	}
 }

@@ -15,6 +15,12 @@ const (
 	Pass = "pass"
 	// Fail: the run completed but the property did not hold.
 	Fail = "fail"
+	// ConfigError: the cell's declaration is inconsistent — an oracle
+	// script of the wrong role or scope for the combo, a protocol that
+	// does not consume the declared dimension, conflicting pinning
+	// params. A matrix-author mistake, reported distinctly so summaries
+	// and goldens never conflate it with a paper-claim counterexample.
+	ConfigError = "config_error"
 	// Errored: the cell could not run (bad config, protocol panic).
 	Errored = "error"
 )
@@ -35,10 +41,14 @@ type CellResult struct {
 	// for matrices without OracleFamilies); OracleClass is the class the
 	// script declares and OracleConformance the fd/check.go verdict —
 	// "conforms", or "violates: <reason>" when the script leaves its
-	// declared class under this cell's failure pattern.
+	// declared class under this cell's failure pattern. Paired scripts
+	// additionally carry per-role verdicts in OracleS and OraclePhi,
+	// with OracleConformance the joint verdict.
 	Oracle            string `json:"oracle,omitempty"`
 	OracleClass       string `json:"oracle_class,omitempty"`
 	OracleConformance string `json:"oracle_conformance,omitempty"`
+	OracleS           string `json:"oracle_s,omitempty"`
+	OraclePhi         string `json:"oracle_phi,omitempty"`
 
 	Verdict string `json:"verdict"`
 	Detail  string `json:"detail,omitempty"`
@@ -80,6 +90,13 @@ func (r *CellResult) fail(why string) {
 	}
 }
 
+// failConfig marks the cell as misconfigured (see ConfigError),
+// appending the reason to Detail.
+func (r *CellResult) failConfig(why string) {
+	r.fail(why)
+	r.Verdict = ConfigError
+}
+
 // ShardMeta records which slice of the matrix a sharded run covered.
 type ShardMeta struct {
 	Index      int `json:"index"`
@@ -98,11 +115,16 @@ type Report struct {
 	Failed  int          `json:"failed"`
 	Errored int          `json:"errored"`
 
+	// ConfigErrors counts misconfigured cells (ConfigError verdicts);
+	// omitted while zero so pre-existing reports keep their bytes.
+	ConfigErrors int `json:"config_errors,omitempty"`
+
 	// WallNS is the sweep's wall-clock cost (not canonical).
 	WallNS int64 `json:"-"`
 }
 
-// OK reports whether every cell passed.
+// OK reports whether every cell passed (a ConfigError cell is not
+// passed, so it fails OK like any other non-pass verdict).
 func (r *Report) OK() bool { return r.Failed == 0 && r.Errored == 0 && r.Passed == len(r.Cells) }
 
 // CanonicalJSON renders the report as deterministic bytes: struct fields
@@ -118,8 +140,12 @@ func (r *Report) Summary() string {
 	if r.Shard != nil {
 		shard = fmt.Sprintf(" [shard %d/%d]", r.Shard.Index, r.Shard.Count)
 	}
-	return fmt.Sprintf("%s%s: %d/%d pass (%d fail, %d error)",
-		r.Matrix.Name, shard, r.Passed, len(r.Cells), r.Failed, r.Errored)
+	cfg := ""
+	if r.ConfigErrors > 0 {
+		cfg = fmt.Sprintf(", %d config", r.ConfigErrors)
+	}
+	return fmt.Sprintf("%s%s: %d/%d pass (%d fail, %d error%s)",
+		r.Matrix.Name, shard, r.Passed, len(r.Cells), r.Failed, r.Errored, cfg)
 }
 
 // MergeReports recombines the reports of a complete shard family into
@@ -188,6 +214,8 @@ func MergeReports(parts []*Report) (*Report, error) {
 			merged.Passed++
 		case Fail:
 			merged.Failed++
+		case ConfigError:
+			merged.ConfigErrors++
 		default:
 			merged.Errored++
 		}

@@ -124,13 +124,15 @@ func tagOracle(c *Cell, sys *sim.System, res *CellResult) bool {
 	return true
 }
 
-// failOracle fails a cell over a script shape mismatch or a pinning
-// conflict, recording the script's class first so every rejection path
-// keeps the report row's class tag. Returns false for use in the
-// resolvers' return statements.
+// failOracle marks a cell misconfigured over a script shape mismatch or
+// a pinning conflict — matrix-author mistakes, reported as ConfigError
+// rather than Fail so they never read as paper-claim counterexamples —
+// recording the script's class first so every rejection path keeps the
+// report row's class tag. Returns false for use in the resolvers'
+// return statements.
 func failOracle(res *CellResult, s *adversary.OracleScript, format string, args ...any) bool {
 	res.OracleClass = s.Class()
-	res.fail(fmt.Sprintf(format, args...))
+	res.failConfig(fmt.Sprintf(format, args...))
 	return false
 }
 
@@ -154,6 +156,9 @@ func oracleLeader(c *Cell, sys *sim.System, res *CellResult, z int) (oracle fd.L
 	if s.None() {
 		return omegaOracle(c, sys, z), true
 	}
+	if s.IsPair() {
+		return nil, failOracle(res, s, "oracle script %s is a pair; protocol %q reads a single leader oracle", s.Name, c.Protocol)
+	}
 	if len(s.Suspect) > 0 {
 		return nil, failOracle(res, s, "oracle script %s is a suspector timeline; protocol %q reads a leader", s.Name, c.Protocol)
 	}
@@ -164,13 +169,13 @@ func oracleLeader(c *Cell, sys *sim.System, res *CellResult, z int) (oracle fd.L
 	if c.Param("stab0", 0) != 0 {
 		return nil, failOracle(res, s, "param stab0 conflicts with generated oracle script %s (both pin the stabilization time)", s.Name)
 	}
-	if len(s.Leader) > 0 {
-		if len(c.Combo.Trusted) > 0 {
-			return nil, failOracle(res, s, "combo pins a trusted set but oracle script %s already fixes the timeline", s.Name)
-		}
-		if s.Z != z {
-			return nil, failOracle(res, s, "oracle script %s declares z=%d, combo wants z=%d", s.Name, s.Z, z)
-		}
+	if len(s.Leader) > 0 && len(c.Combo.Trusted) > 0 {
+		return nil, failOracle(res, s, "combo pins a trusted set but oracle script %s already fixes the timeline", s.Name)
+	}
+	// Timelines always declare their bound; a parameter script declares
+	// one optionally, and an undeclared bound composes with any combo.
+	if s.Z != 0 && s.Z != z {
+		return nil, failOracle(res, s, "oracle script %s declares z=%d, combo wants z=%d", s.Name, s.Z, z)
 	}
 	if !tagOracle(c, sys, res) {
 		return nil, false
@@ -194,10 +199,15 @@ func oracleSuspector(c *Cell, sys *sim.System, res *CellResult, x int) (susp fd.
 	if s.None() {
 		return fd.NewEvtS(sys, x), true
 	}
+	if s.IsPair() {
+		return nil, failOracle(res, s, "oracle script %s is a pair; protocol %q reads a single suspector oracle", s.Name, c.Protocol)
+	}
 	if len(s.Leader) > 0 {
 		return nil, failOracle(res, s, "oracle script %s is a leader timeline; protocol %q reads a suspector", s.Name, c.Protocol)
 	}
-	if len(s.Suspect) > 0 && s.X != x {
+	// Timelines always declare their scope; a parameter script declares
+	// one optionally, and an undeclared scope composes with any combo.
+	if s.X != 0 && s.X != x {
 		return nil, failOracle(res, s, "oracle script %s declares x=%d, combo wants x=%d", s.Name, s.X, x)
 	}
 	if !tagOracle(c, sys, res) {
@@ -214,18 +224,114 @@ func oracleSuspector(c *Cell, sys *sim.System, res *CellResult, x int) (susp fd.
 // it returns the ground-truth options plus whether the oracle is the
 // eventual flavor (a generated parameter script always is — its whole
 // point is a misbehaving prefix).
-func oraclePhiOpts(c *Cell, sys *sim.System, res *CellResult) (opts []fd.Option, eventual, ok bool) {
+func oraclePhiOpts(c *Cell, sys *sim.System, res *CellResult, y int) (opts []fd.Option, eventual, ok bool) {
 	s := &c.Oracle
 	if s.None() {
 		return nil, false, true
 	}
+	if s.IsPair() {
+		return nil, false, failOracle(res, s, "oracle script %s is a pair; protocol %q reads a single querier oracle", s.Name, c.Protocol)
+	}
 	if s.IsTimeline() {
 		return nil, false, failOracle(res, s, "oracle script %s is a timeline; protocol %q reads a querier", s.Name, c.Protocol)
+	}
+	// A parameter script declares its querier scope optionally; an
+	// undeclared scope composes with any combo.
+	if s.Y != 0 && s.Y != y {
+		return nil, false, failOracle(res, s, "oracle script %s declares y=%d, combo wants y=%d", s.Name, s.Y, y)
 	}
 	if !tagOracle(c, sys, res) {
 		return nil, false, false
 	}
 	return s.Options(), true, true
+}
+
+// roleVerdict renders one role's conformance error as a report verdict.
+func roleVerdict(err error) string {
+	if err == nil {
+		return "conforms"
+	}
+	return "violates: " + err.Error()
+}
+
+// jointViolation renders the combined reason of a pair's role failures.
+func jointViolation(sErr, phiErr error) string {
+	switch {
+	case sErr != nil && phiErr != nil:
+		return fmt.Sprintf("S role: %v; phi role: %v", sErr, phiErr)
+	case sErr != nil:
+		return fmt.Sprintf("S role: %v", sErr)
+	default:
+		return fmt.Sprintf("phi role: %v", phiErr)
+	}
+}
+
+// tagOraclePair is tagOracle for paired scripts: each role is checked
+// against its declared class — the perpetual flavors when the cell runs
+// the perpetual addition — under this cell's failure pattern, the
+// per-role verdicts land in OracleS/OraclePhi and the joint verdict in
+// OracleConformance. false means the pair leaves its declared classes
+// and the cell failed (the protocol run is skipped: running an addition
+// over an out-of-class input pair proves nothing).
+func tagOraclePair(c *Cell, sys *sim.System, res *CellResult, perpetual bool) bool {
+	s := &c.Oracle
+	res.OracleClass = s.Class()
+	sErr := s.Pair.SConformance(sys.Pattern(), c.MaxSteps, perpetual)
+	phiErr := s.Pair.PhiConformance(sys.Pattern(), c.MaxSteps, perpetual)
+	res.OracleS = roleVerdict(sErr)
+	res.OraclePhi = roleVerdict(phiErr)
+	if sErr == nil && phiErr == nil {
+		res.OracleConformance = "conforms"
+		return true
+	}
+	why := jointViolation(sErr, phiErr)
+	res.OracleConformance = "violates: " + why
+	res.fail("generated oracle pair leaves its declared classes: " + why)
+	return false
+}
+
+// oraclePair resolves a paired script into the two role oracles of an
+// addition protocol: the S role becomes a scripted suspector (suspect
+// timeline) or a parameterized ground-truth S_x/◇S_x, the φ role a
+// parameterized ground-truth φ_y/◇φ_y. ok=false means the cell already
+// failed — a role/scope mismatch (ConfigError) or a nonconforming pair
+// (Fail).
+func oraclePair(c *Cell, sys *sim.System, res *CellResult, x, y int, perpetual bool) (susp fd.Suspector, quer *fd.Phi, ok bool) {
+	s := &c.Oracle
+	p := s.Pair
+	if p.S.X != x {
+		failOracle(res, s, "oracle pair %s declares S-role x=%d, combo wants x=%d", s.Name, p.S.X, x)
+		return nil, nil, false
+	}
+	if p.Phi.Y != y {
+		failOracle(res, s, "oracle pair %s declares phi-role y=%d, combo wants y=%d", s.Name, p.Phi.Y, y)
+		return nil, nil, false
+	}
+	if c.Param("stab0", 0) != 0 {
+		failOracle(res, s, "param stab0 conflicts with generated oracle pair %s (both pin the stabilization time)", s.Name)
+		return nil, nil, false
+	}
+	if len(c.Combo.Trusted) > 0 {
+		failOracle(res, s, "combo pins a trusted set but oracle pair %s scripts the suspector role", s.Name)
+		return nil, nil, false
+	}
+	if !tagOraclePair(c, sys, res, perpetual) {
+		return nil, nil, false
+	}
+	switch {
+	case len(p.S.Suspect) > 0:
+		susp = fd.NewScriptedSuspector(sys, p.S.Suspect)
+	case perpetual:
+		susp = fd.NewS(sys, x, p.S.Options()...)
+	default:
+		susp = fd.NewEvtS(sys, x, p.S.Options()...)
+	}
+	if perpetual {
+		quer = fd.NewPhi(sys, y, p.Phi.Options()...)
+	} else {
+		quer = fd.NewEvtPhi(sys, y, p.Phi.Options()...)
+	}
+	return susp, quer, true
 }
 
 // omegaOracle builds the cell's Ω oracle with optional pinning.
@@ -410,20 +516,34 @@ func runTwoWheels(c *Cell, res *CellResult) {
 	if z == 0 {
 		z = c.Size.T + 2 - x - y
 	}
-	susp, ok := oracleSuspector(c, sys, res, x)
-	if !ok {
-		return
-	}
-	// A parameter script configures the whole oracle environment, and
-	// two-wheels reads two oracles: the ◇φ_y gets the same
-	// stabilization/anarchy configuration as the ◇S_x, or the swept
-	// dimension would be silently half-applied. (Timeline scripts name
-	// a single role — the suspector — and leave the querier default.)
+	var susp fd.Suspector
 	var quer *fd.Phi
-	if s := &c.Oracle; !s.None() && !s.IsTimeline() {
-		quer = fd.NewEvtPhi(sys, y, s.Options()...)
+	if c.Oracle.IsPair() {
+		// A paired script drives both roles independently: its own ◇S_x
+		// script for the suspector, its own ◇φ_y parameters for the
+		// querier, each conformance-checked against its declared class.
+		var ok bool
+		susp, quer, ok = oraclePair(c, sys, res, x, y, false)
+		if !ok {
+			return
+		}
 	} else {
-		quer = fd.NewEvtPhi(sys, y)
+		var ok bool
+		susp, ok = oracleSuspector(c, sys, res, x)
+		if !ok {
+			return
+		}
+		// A single parameter script configures the whole oracle
+		// environment, and two-wheels reads two oracles: the ◇φ_y gets the
+		// same stabilization/anarchy configuration as the ◇S_x, or the
+		// swept dimension would be silently half-applied. (Timeline
+		// scripts name a single role — the suspector — and leave the
+		// querier default.)
+		if s := &c.Oracle; !s.None() && !s.IsTimeline() {
+			quer = fd.NewEvtPhi(sys, y, s.Options()...)
+		} else {
+			quer = fd.NewEvtPhi(sys, y)
+		}
 	}
 	emu, _ := reduction.SpawnTwoWheels(sys, susp, quer, x, y)
 	trace := fd.WatchLeaderSparse(sys, emu)
@@ -548,7 +668,7 @@ func runPsiOmega(c *Cell, res *CellResult) {
 		panic(err)
 	}
 	y, z := c.Combo.Y, c.Combo.Z
-	opts, eventual, ok := oraclePhiOpts(c, sys, res)
+	opts, eventual, ok := oraclePhiOpts(c, sys, res, y)
 	if !ok {
 		return
 	}
@@ -573,33 +693,47 @@ func runPsiOmega(c *Cell, res *CellResult) {
 
 // runAddS: S_x + φ_y → S_n over a register substrate named by the combo
 // (EXP-F9). Params: perpetual (inputs and output are the perpetual
-// classes), margin (checker stable suffix).
+// classes), margin (checker stable suffix), stop_slack (extra rest time
+// past the margin before the early stop; default margin/5).
 func runAddS(c *Cell, res *CellResult) {
 	sys, err := c.System()
 	if err != nil {
 		panic(err)
 	}
-	// add-s consumes two oracles (S_x and φ_y); a single-script oracle
-	// dimension point would be ambiguous, so the dimension is rejected.
-	if !requireNoOracle(c, res) {
-		return
-	}
 	x, y := c.Combo.X, c.Combo.Y
 	perpetual := c.Param("perpetual", 1) != 0
 	var susp fd.Suspector
 	var quer fd.Querier
-	if perpetual {
-		susp, quer = fd.NewS(sys, x), fd.NewPhi(sys, y)
+	if c.Oracle.IsPair() {
+		// A paired script names one oracle per role — the only shape the
+		// generated dimension can take here, since add-s consumes two
+		// oracles and a single script would be ambiguous about which role
+		// it drives.
+		s, q, ok := oraclePair(c, sys, res, x, y, perpetual)
+		if !ok {
+			return
+		}
+		susp, quer = s, q
 	} else {
-		susp, quer = fd.NewEvtS(sys, x), fd.NewEvtPhi(sys, y)
+		if !requireNoOracle(c, res) {
+			return
+		}
+		if perpetual {
+			susp, quer = fd.NewS(sys, x), fd.NewPhi(sys, y)
+		} else {
+			susp, quer = fd.NewEvtS(sys, x), fd.NewEvtPhi(sys, y)
+		}
 	}
 	emu := reduction.SpawnAddS(sys, susp, quer, c.Combo.Name)
 	trace := fd.WatchSuspectorSparse(sys, emu)
 	margin := sim.Time(c.Param("margin", 20_000))
 	// Stop once every correct process's output has rested well past the
 	// checker's stable-suffix margin: running further cannot change the
-	// verdict, only burn virtual time.
-	rep := sys.Run(trace.StableFor(sys.Pattern().Correct(), margin+2_000))
+	// verdict, only burn virtual time. The rest slack scales with the
+	// margin so large-margin cells don't stop inside the checker's
+	// window.
+	slack := sim.Time(c.Param("stop_slack", int64(margin/5)))
+	rep := sys.Run(trace.StableFor(sys.Pattern().Correct(), margin+slack))
 	recordRun(res, rep)
 	if err := trace.CheckSuspector(sys.Pattern(), c.Size.N, perpetual, margin); err != nil {
 		res.fail(err.Error())
