@@ -11,7 +11,7 @@
 # cutting a new baseline (e.g. `make bench BENCH_OUT=BENCH_PR4.json`).
 
 GO ?= go
-BENCH_OUT ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR7.json
 
 .PHONY: ci vet build test race smoke examples bench bench-smoke bench-gate clean
 
@@ -68,18 +68,19 @@ bench: build
 	cat /tmp/fdgrid-sweeptime.txt
 	$(GO) run ./cmd/bench2json -bench /tmp/fdgrid-bench.txt -sweep /tmp/fdgrid-sweeptime.txt -out $(BENCH_OUT)
 
-# The bench smoke CI runs: the scheduler micro-benchmarks only, enough
-# to catch a perf-path regression that breaks outright.
+# The bench smoke CI runs: the scheduler and batched-delivery
+# micro-benchmarks only, enough to catch a perf-path regression that
+# breaks outright.
 bench-smoke: build
-	$(GO) test -bench 'BenchmarkScheduler' -benchtime 1000x -run XXX .
+	$(GO) test -bench 'BenchmarkScheduler|BenchmarkDeliverBatch|BenchmarkBroadcastFanout' -benchtime 1000x -run XXX .
 
-# The CI benchmark-regression gate: sample the scheduler micro-
-# benchmarks a few times and compare medians against the committed
-# record; a >25% median regression fails (see cmd/benchgate for why the
-# threshold is generous).
+# The CI benchmark-regression gate: sample the scheduler and
+# batched-delivery micro-benchmarks a few times and compare medians
+# against the committed record; a >25% median regression fails (see
+# cmd/benchgate for why the threshold is generous).
 bench-gate: build
-	$(GO) test -bench 'BenchmarkScheduler' -benchtime 200ms -count 5 -run XXX . | tee /tmp/fdgrid-bench-gate.txt
-	$(GO) run ./cmd/benchgate -baseline $(BENCH_OUT) -bench /tmp/fdgrid-bench-gate.txt -match 'BenchmarkScheduler' -threshold 0.25
+	$(GO) test -bench 'BenchmarkScheduler|BenchmarkDeliverBatch|BenchmarkBroadcastFanout' -benchtime 200ms -count 5 -run XXX . | tee /tmp/fdgrid-bench-gate.txt
+	$(GO) run ./cmd/benchgate -baseline $(BENCH_OUT) -bench /tmp/fdgrid-bench-gate.txt -match 'BenchmarkScheduler|BenchmarkDeliverBatch|BenchmarkBroadcastFanout' -threshold 0.25
 
 clean:
 	rm -f /tmp/fdgrid-smoke.md /tmp/fdgrid-smoke.json

@@ -577,6 +577,76 @@ func BenchmarkSchedulerSend(b *testing.B) {
 	sys.Run(nil)
 }
 
+// BenchmarkDeliverBatch measures the batched delivery hot path under the
+// quadratic-protocol load shape every reduction in this repo produces:
+// all n processes broadcast each tick and bandwidth admits the full n²
+// messages, so one op (one virtual tick) is n² message deliveries
+// grouped into n per-destination batches. This is the loop EXP-SCALE's
+// n = 256 cells spend their time in.
+func BenchmarkDeliverBatch(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			sys := MustNewSystem(Config{
+				N: n, T: 0, Seed: 1, MaxSteps: sim.Time(b.N) + 1, Bandwidth: n * n,
+			})
+			sys.SpawnAll(func(env *sim.Env) {
+				for {
+					next := env.Now() + 1
+					env.Broadcast(benchPing, nil)
+					for {
+						if _, ok := env.StepUntil(next); !ok {
+							break
+						}
+					}
+				}
+			})
+			b.ResetTimer()
+			sys.Run(nil)
+			b.ReportMetric(float64(n*n), "msgs/op")
+		})
+	}
+}
+
+// BenchmarkBroadcastFanout measures the single-stamp broadcast fan-out:
+// one process fires a burst of broadcasts per tick, the other n−1 only
+// drain. One op is one tick: burst×n sends and deliveries plus n wakes —
+// the fan-out-dominated shape of an rbcast relay wave (every process
+// re-broadcasting one frame lands ~n broadcasts in a tick) or a batch
+// of ABD query rounds.
+func BenchmarkBroadcastFanout(b *testing.B) {
+	const burst = 64
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			sys := MustNewSystem(Config{
+				N: n, T: 0, Seed: 1, MaxSteps: sim.Time(b.N) + 1, Bandwidth: burst * n,
+			})
+			sys.Spawn(1, func(env *sim.Env) {
+				for {
+					next := env.Now() + 1
+					for i := 0; i < burst; i++ {
+						env.Broadcast(benchPing, nil)
+					}
+					for {
+						if _, ok := env.StepUntil(next); !ok {
+							break
+						}
+					}
+				}
+			})
+			for p := 2; p <= n; p++ {
+				sys.Spawn(ProcID(p), func(env *sim.Env) {
+					for {
+						env.StepUntil(sim.Never)
+					}
+				})
+			}
+			b.ResetTimer()
+			sys.Run(nil)
+			b.ReportMetric(float64(burst*n), "msgs/op")
+		})
+	}
+}
+
 // BenchmarkSchedulerSendHolds is BenchmarkSchedulerSend under a scripted
 // adversary with 16 hold rules (all released at tick 1, so delivery
 // behaviour matches): the per-send cost of resolving holds.

@@ -17,6 +17,7 @@
 //	experiments -shard i/m -report shard-i.json        # one shard, no markdown
 //	experiments -merge -report merged.json shard-*.json
 //	experiments ... -golden suite.golden.json          # byte-compare the suite
+//	experiments ... -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
@@ -46,7 +48,8 @@ func main() {
 		report    = flag.String("report", "", "also write the canonical JSON sweep reports here")
 		verbose   = flag.Bool("v", false, "print per-matrix progress to stderr")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the sweep here")
-		benchFile = flag.String("bench", "BENCH_PR3.json", "benchmark record to render in the EXP-PERF section")
+		memprof   = flag.String("memprofile", "", "write a heap profile (after the sweep, post-GC) here")
+		benchFile = flag.String("bench", "BENCH_PR7.json", "benchmark record to render in the EXP-PERF section")
 		shardSpec = flag.String("shard", "", "run only shard i/m of every matrix (format \"i/m\"); requires -report and skips the markdown output")
 		merge     = flag.Bool("merge", false, "merge the shard suite files given as arguments into one suite; requires -report")
 		golden    = flag.String("golden", "", "after writing the suite JSON, byte-compare it against this file and fail on any difference")
@@ -119,6 +122,21 @@ func main() {
 			fatal(err)
 		}
 		if err := compareGolden(suite, *golden); err != nil {
+			fatal(err)
+		}
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fatal(err)
+		}
+		// GC first so the profile shows live retained memory (the
+		// sweep's steady-state footprint), not transient garbage.
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 	}
@@ -869,7 +887,7 @@ func expAblation(b *strings.Builder, run func(sweep.Matrix) *sweep.Report, seeds
 // sizes the paper never ran (its arguments are size-generic) exercised
 // against the schedule families the adversary package generates.
 func expScale(b *strings.Builder, run func(sweep.Matrix) *sweep.Report, seeds int) {
-	section(b, "EXP-SCALE · scaling — generated adversaries, n up to 128",
+	section(b, "EXP-SCALE · scaling — generated adversaries, n up to 256",
 		"(not a paper claim) The paper's algorithms are size-generic; the constructions must keep "+
 			"their guarantees at n ≫ the paper's examples and under machine-generated adversary "+
 			"schedules (staggered / clustered / cascade crashes, partition- and silence-style hold scripts) "+
@@ -877,7 +895,7 @@ func expScale(b *strings.Builder, run func(sweep.Matrix) *sweep.Report, seeds in
 	if seeds > 2 {
 		seeds = 2 // large cells: bound the suite's wall time
 	}
-	sizes := []sweep.Size{{N: 64, T: 31}, {N: 96, T: 47}, {N: 128, T: 63}}
+	sizes := []sweep.Size{{N: 64, T: 31}, {N: 96, T: 47}, {N: 128, T: 63}, {N: 192, T: 95}, {N: 256, T: 127}}
 	rKSet := run(sweep.Matrix{
 		Name: "SCALE-kset", Protocol: "kset-omega",
 		Seeds: seedList(seeds), Sizes: sizes,
@@ -913,7 +931,7 @@ func expScale(b *strings.Builder, run func(sweep.Matrix) *sweep.Report, seeds in
 
 	rPsi := run(sweep.Matrix{
 		Name: "SCALE-psi", Protocol: "psi-omega",
-		Seeds: seedList(seeds), Sizes: []sweep.Size{{N: 96, T: 6}, {N: 128, T: 6}},
+		Seeds: seedList(seeds), Sizes: []sweep.Size{{N: 96, T: 6}, {N: 128, T: 6}, {N: 192, T: 6}, {N: 256, T: 6}},
 		AdversaryFamilies: []adversary.Family{
 			{Kind: adversary.KindCascade, Count: 3, Variants: 2, Seed: 21, Start: 100, Spacing: 100},
 			{Kind: adversary.KindClustered, Count: 4, Seed: 22, Start: 200},
@@ -935,7 +953,7 @@ func expScale(b *strings.Builder, run func(sweep.Matrix) *sweep.Report, seeds in
 	b.WriteString("\n")
 	b.WriteString(tab2.String())
 	verdict(b, rKSet.OK() && rPsi.OK(),
-		"2-set agreement and the message-free Ψ→Ω chain keep their guarantees at n ∈ {64, 96, 128} across every generated schedule")
+		"2-set agreement and the message-free Ψ→Ω chain keep their guarantees at n ∈ {64, 96, 128, 192, 256} across every generated schedule")
 }
 
 // oracleGroups collects a report's cells grouped by (size, oracle

@@ -169,13 +169,11 @@ func scriptTrace(pat *sim.Pattern, horizon sim.Time, stepTimes []sim.Time,
 		started: make([]bool, n+1),
 	}
 	for _, now := range scriptEventTimes(pat, horizon, stepTimes) {
-		for p := 1; p <= n; p++ {
-			id := ids.ProcID(p)
-			if pat.Crashed(id, now) {
-				continue
-			}
+		alive := ids.FullSet(n).Minus(pat.CrashedSet(now))
+		alive.ForEachIn(n, func(id ids.ProcID) bool {
 			tr.observe(id, now, eval(id, now))
-		}
+			return true
+		})
 		tr.tick(now)
 	}
 	return tr

@@ -1,7 +1,6 @@
 package fd
 
 import (
-	"fdgrid/internal/ids"
 	"fdgrid/internal/sim"
 )
 
@@ -40,19 +39,13 @@ func nextEpoch(now, epoch sim.Time) sim.Time {
 }
 
 // nextCrashEvent returns the earliest tick after now at which a crash
-// (shifted by lag) changes pattern-derived outputs.
+// (shifted by lag) changes pattern-derived outputs: the first crash tick
+// after now, or the first lag-shifted one — two O(log) window lookups on
+// the pattern's precomputed crash times instead of a process scan.
 func nextCrashEvent(pat *sim.Pattern, now, lag sim.Time) sim.Time {
-	next := sim.Never
-	for p := 1; p <= pat.N(); p++ {
-		ct := pat.CrashTime(ids.ProcID(p))
-		if ct == sim.Never {
-			continue
-		}
-		for _, cand := range [2]sim.Time{ct, ct + lag} {
-			if cand > now && cand < next {
-				next = cand
-			}
-		}
+	next := pat.NextCrashAfter(now)
+	if ct := pat.NextCrashAfter(now - lag); ct != sim.Never && ct+lag > now && ct+lag < next {
+		next = ct + lag
 	}
 	return next
 }

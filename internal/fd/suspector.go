@@ -176,21 +176,9 @@ func (w crashWindow) covers(t sim.Time) bool {
 }
 
 // crashedWindowAt computes the crashed-by set at t and the window
-// [from, till) of times sharing it.
+// [from, till) of times sharing it — a binary search over the pattern's
+// precomputed crash windows, not a per-process scan.
 func crashedWindowAt(pat *sim.Pattern, t sim.Time) crashWindow {
-	var set ids.Set
-	from, till := sim.Time(-1<<62), sim.Never
-	for q := 1; q <= pat.N(); q++ {
-		id := ids.ProcID(q)
-		ct := pat.CrashTime(id)
-		if ct <= t {
-			set = set.Add(id)
-			if ct > from {
-				from = ct
-			}
-		} else if ct < till {
-			till = ct
-		}
-	}
+	set, from, till := pat.CrashedWindow(t)
 	return crashWindow{ok: true, from: from, till: till, set: set}
 }

@@ -43,13 +43,14 @@ func newSetTrace(sys *sim.System) *SetTrace {
 func watchSets(sys *sim.System, dense bool, read func(ids.ProcID) ids.Set) *SetTrace {
 	tr := newSetTrace(sys)
 	sample := func(now sim.Time) {
-		for p := 1; p <= tr.n; p++ {
-			id := ids.ProcID(p)
-			if sys.Pattern().Crashed(id, now) {
-				continue
-			}
+		// One crashed-set lookup per tick, then a masked sweep over the
+		// alive processes — membership and ascending order are exactly
+		// those of a 1..n loop with a per-process Crashed check.
+		alive := ids.FullSet(tr.n).Minus(sys.Pattern().CrashedSet(now))
+		alive.ForEachIn(tr.n, func(id ids.ProcID) bool {
 			tr.observe(id, now, read(id))
-		}
+			return true
+		})
 		tr.tick(now)
 	}
 	if dense {

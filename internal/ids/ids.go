@@ -208,6 +208,76 @@ func (s Set) ForEach(fn func(ProcID) bool) {
 	}
 }
 
+// ForEachWord calls fn once per non-zero backing word, in ascending word
+// order, with the word's index and bits. Process p occupies bit (p−1)&63
+// of word (p−1)>>6, so callers can run their own bit loops over whole
+// words — one call per 64 identities instead of one per member, which is
+// what keeps n = 256 scans from paying a closure call per process.
+func (s Set) ForEachWord(fn func(i int, bits uint64)) {
+	for i, w := range s.w {
+		if w != 0 {
+			fn(i, w)
+		}
+	}
+}
+
+// CountIn returns |s ∩ {1..n}| — a popcount over the live words only,
+// with the partial top word masked. The word-level eligibility count for
+// quorum and scope checks: no per-member iteration at any n.
+func (s Set) CountIn(n int) int {
+	if n < 0 {
+		return 0
+	}
+	if n > MaxProcs {
+		n = MaxProcs
+	}
+	c := 0
+	for i := 0; i < n>>6; i++ {
+		c += bits.OnesCount64(s.w[i])
+	}
+	if rest := uint(n & 63); rest != 0 {
+		c += bits.OnesCount64(s.w[n>>6] & (uint64(1)<<rest - 1))
+	}
+	return c
+}
+
+// IntersectSize returns |s ∩ o| without materializing the intersection.
+func (s Set) IntersectSize(o Set) int {
+	c := 0
+	for i := range s.w {
+		c += bits.OnesCount64(s.w[i] & o.w[i])
+	}
+	return c
+}
+
+// ForEachIn calls fn on each member of s ∩ {1..n} in ascending order
+// until fn returns false or the members are exhausted — masked
+// iteration: ids above n are cut off at the word level, so no per-member
+// bound check runs.
+func (s Set) ForEachIn(n int, fn func(ProcID) bool) {
+	if n > MaxProcs {
+		n = MaxProcs
+	}
+	if n < 1 {
+		return
+	}
+	last := (n - 1) >> 6
+	for i := 0; i <= last; i++ {
+		w := s.w[i]
+		if i == last {
+			if rest := uint(n & 63); rest != 0 {
+				w &= uint64(1)<<rest - 1
+			}
+		}
+		base := i << 6
+		for ; w != 0; w &= w - 1 {
+			if !fn(ProcID(base + bits.TrailingZeros64(w) + 1)) {
+				return
+			}
+		}
+	}
+}
+
 // Nth returns the i-th smallest member (0-based), or None if i is out of
 // range.
 func (s Set) Nth(i int) ProcID {

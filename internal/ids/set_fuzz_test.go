@@ -1,6 +1,9 @@
 package ids
 
-import "testing"
+import (
+	"math/bits"
+	"testing"
+)
 
 // FuzzSetOps drives a Set and a bool-slice model through the same
 // operation stream decoded from the fuzz input and checks they agree.
@@ -54,6 +57,43 @@ func FuzzSetOps(f *testing.F) {
 			if s.Nth(i) != p || s.Index(p) != i {
 				t.Fatalf("rank queries diverge at member %d", i)
 			}
+		}
+		// Word-level helpers agree with the model at every horizon the
+		// final set could be cut at (including word boundaries).
+		for _, n := range []int{1, 63, 64, 65, 128, 192, 255, MaxProcs} {
+			count := 0
+			for p := 1; p <= n; p++ {
+				if model[p] {
+					count++
+				}
+			}
+			if got := s.CountIn(n); got != count {
+				t.Fatalf("CountIn(%d) = %d, model has %d", n, got, count)
+			}
+			walked := 0
+			s.ForEachIn(n, func(p ProcID) bool {
+				if int(p) > n || !model[p] {
+					t.Fatalf("ForEachIn(%d) yielded %d", n, p)
+				}
+				walked++
+				return true
+			})
+			if walked != count {
+				t.Fatalf("ForEachIn(%d) walked %d, model has %d", n, walked, count)
+			}
+		}
+		if got := s.IntersectSize(s); got != size {
+			t.Fatalf("IntersectSize(self) = %d, want %d", got, size)
+		}
+		words := 0
+		s.ForEachWord(func(i int, w uint64) {
+			if w == 0 {
+				t.Fatalf("ForEachWord visited zero word %d", i)
+			}
+			words += bits.OnesCount64(w)
+		})
+		if words != size {
+			t.Fatalf("ForEachWord saw %d bits, model has %d", words, size)
 		}
 	})
 }

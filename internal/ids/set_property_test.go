@@ -8,7 +8,7 @@ import (
 // wordBoundarySizes are the n values the multi-word representation must
 // get right: one bit below, at and above each 64-bit word boundary, plus
 // the cap itself.
-var wordBoundarySizes = []int{63, 64, 65, 127, 128, 255, 256}
+var wordBoundarySizes = []int{63, 64, 65, 127, 128, 191, 192, 193, 255, 256}
 
 // denseRandomSet draws a set over {1..n} with density d.
 func denseRandomSet(r *rand.Rand, n int, d float64) Set {
@@ -133,6 +133,101 @@ func TestSetIterationRoundTrips(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestWordLevelAccessors checks the word-level helpers the hot paths
+// use — ForEachWord, CountIn, IntersectSize, ForEachIn — against the
+// bool-slice model at every boundary size, including sets with members
+// above the n horizon (the masked-top-word case CountIn and ForEachIn
+// must cut off exactly).
+func TestWordLevelAccessors(t *testing.T) {
+	r := rand.New(rand.NewSource(20260807))
+	for _, n := range wordBoundarySizes {
+		for round := 0; round < 40; round++ {
+			// Draw over the full id space so members above n exercise
+			// the horizon masking; a second set for the intersection.
+			a := denseRandomSet(r, MaxProcs, 0.3)
+			b := denseRandomSet(r, MaxProcs, 0.5)
+			ra := toRef(a, MaxProcs)
+
+			var rebuilt Set
+			total := 0
+			prev := -1
+			a.ForEachWord(func(i int, bits uint64) {
+				if bits == 0 {
+					t.Fatalf("n=%d ForEachWord visited a zero word %d", n, i)
+				}
+				if i <= prev {
+					t.Fatalf("n=%d ForEachWord words out of order: %d after %d", n, i, prev)
+				}
+				prev = i
+				for w := bits; w != 0; w &= w - 1 {
+					rebuilt = rebuilt.Add(ProcID(i<<6 + trailingZeros(w) + 1))
+					total++
+				}
+			})
+			if !rebuilt.Equal(a) || total != a.Size() {
+				t.Fatalf("n=%d ForEachWord does not reassemble the set", n)
+			}
+
+			want := 0
+			for p := 1; p <= n; p++ {
+				if ra[p] {
+					want++
+				}
+			}
+			if got := a.CountIn(n); got != want {
+				t.Fatalf("n=%d CountIn = %d, want %d", n, got, want)
+			}
+			if got, want := a.IntersectSize(b), a.Intersect(b).Size(); got != want {
+				t.Fatalf("n=%d IntersectSize = %d, want %d", n, got, want)
+			}
+
+			var walked []ProcID
+			a.ForEachIn(n, func(p ProcID) bool {
+				walked = append(walked, p)
+				return true
+			})
+			if len(walked) != a.CountIn(n) {
+				t.Fatalf("n=%d ForEachIn walked %d members, CountIn says %d", n, len(walked), a.CountIn(n))
+			}
+			for i, p := range walked {
+				if int(p) > n || !ra[p] {
+					t.Fatalf("n=%d ForEachIn yielded %d (beyond horizon or non-member)", n, p)
+				}
+				if i > 0 && walked[i-1] >= p {
+					t.Fatalf("n=%d ForEachIn not strictly ascending at %d", n, i)
+				}
+			}
+
+			if len(walked) > 1 {
+				stop := len(walked) / 2
+				seen := 0
+				a.ForEachIn(n, func(ProcID) bool {
+					seen++
+					return seen < stop
+				})
+				if seen != stop {
+					t.Fatalf("n=%d ForEachIn ignored early stop: %d visits, want %d", n, seen, stop)
+				}
+			}
+		}
+	}
+	if got := FullSet(MaxProcs).CountIn(0); got != 0 {
+		t.Fatalf("CountIn(0) = %d, want 0", got)
+	}
+	if got := FullSet(MaxProcs).CountIn(-1); got != 0 {
+		t.Fatalf("CountIn(-1) = %d, want 0", got)
+	}
+}
+
+func trailingZeros(w uint64) int {
+	n := 0
+	for w&1 == 0 {
+		w >>= 1
+		n++
+	}
+	return n
 }
 
 // TestSetSingleBitPerBoundary pins the exact bit placement at every

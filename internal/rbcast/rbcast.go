@@ -103,12 +103,10 @@ func (l *Layer) Handle(m sim.Message) (sim.Message, bool) {
 	}
 	l.seen[f.ID] = true
 	// Relay before delivering: if this process crashes mid-relay it has
-	// not R-delivered, preserving Termination's contrapositive.
-	for q := 1; q <= l.env.N(); q++ {
-		if ids.ProcID(q) != l.env.ID() {
-			l.env.Send(ids.ProcID(q), m.Tag, f)
-		}
-	}
+	// not R-delivered, preserving Termination's contrapositive. Multicast
+	// fans the frame out to everyone else in one stamped pass — same
+	// ascending destination order as the old per-process Send loop.
+	l.env.Multicast(l.env.All().Remove(l.env.ID()), m.Tag, f)
 	return sim.Message{
 		From:        f.ID.Origin,
 		To:          m.To,

@@ -70,8 +70,11 @@ type ABD struct {
 	replicas map[key]tsVal
 	wts      int64
 	nextOp   int64
-	acks     map[int64]int
-	replies  map[int64][]tsVal
+	// acks collects the responders per operation as an identity set —
+	// each replica acks an op at most once, so the quorum test is a
+	// word-level popcount (Set.CountIn) instead of a tally.
+	acks    map[int64]ids.Set
+	replies map[int64][]tsVal
 }
 
 var (
@@ -87,7 +90,7 @@ func NewABD(env *sim.Env) *ABD {
 	return &ABD{
 		env:      env,
 		replicas: make(map[key]tsVal),
-		acks:     make(map[int64]int),
+		acks:     make(map[int64]ids.Set),
 		replies:  make(map[int64][]tsVal),
 	}
 }
@@ -104,7 +107,7 @@ func (a *ABD) Write(name string, v any) {
 	a.nextOp++
 	op := a.nextOp
 	a.env.Broadcast(tagABDWrite, abdWrite{Op: op, Name: name, TS: a.wts, Val: v})
-	a.nd.WaitOn(func() bool { return a.acks[op] >= a.quorum() }, nil)
+	a.nd.WaitOn(func() bool { return a.acks[op].CountIn(a.env.N()) >= a.quorum() }, nil)
 	delete(a.acks, op)
 }
 
@@ -129,7 +132,7 @@ func (a *ABD) Read(owner ids.ProcID, name string) any {
 	a.nextOp++
 	wb := a.nextOp
 	a.env.Broadcast(tagABDWriteBack, abdWriteBack{Op: wb, Owner: owner, Name: name, TS: best.ts, Val: best.val})
-	a.nd.WaitOn(func() bool { return a.acks[wb] >= a.quorum() }, nil)
+	a.nd.WaitOn(func() bool { return a.acks[wb].CountIn(a.env.N()) >= a.quorum() }, nil)
 	delete(a.acks, wb)
 	return best.val
 }
@@ -149,7 +152,7 @@ func (a *ABD) Handle(m sim.Message) (sim.Message, bool) {
 		if !ok {
 			panic(fmt.Sprintf("register: abd ack payload %T", m.Payload))
 		}
-		a.acks[ack.Op]++
+		a.acks[ack.Op] = a.acks[ack.Op].Add(m.From)
 	case tagABDRead:
 		r, ok := m.Payload.(abdRead)
 		if !ok {
@@ -175,7 +178,7 @@ func (a *ABD) Handle(m sim.Message) (sim.Message, bool) {
 		if !ok {
 			panic(fmt.Sprintf("register: abd wback payload %T", m.Payload))
 		}
-		a.acks[ack.Op]++
+		a.acks[ack.Op] = a.acks[ack.Op].Add(m.From)
 	default:
 		return m, true
 	}

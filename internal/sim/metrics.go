@@ -61,6 +61,27 @@ func (m *Metrics) countDropped(tag Tag) {
 	m.dropped[tag]++
 }
 
+// The N variants bump a counter by a whole batch's worth at once.
+// Counters stay per-message-exact: callers pass the number of messages
+// in the batch, so a batched run and a message-at-a-time run of the
+// same schedule produce identical snapshots.
+
+func (m *Metrics) countSentN(tag Tag, n int64) {
+	m.sent = grown(m.sent, tag)
+	m.sent[tag] += n
+	m.totalSent += n
+}
+
+func (m *Metrics) countDeliveredN(tag Tag, n int64) {
+	m.delivered = grown(m.delivered, tag)
+	m.delivered[tag] += n
+}
+
+func (m *Metrics) countDroppedN(tag Tag, n int64) {
+	m.dropped = grown(m.dropped, tag)
+	m.dropped[tag] += n
+}
+
 // Sent returns how many messages with the given tag have been sent.
 func (m *Metrics) Sent(tag Tag) int64 {
 	if int(tag) >= len(m.sent) {

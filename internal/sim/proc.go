@@ -109,9 +109,20 @@ func (e *Env) Send(to ids.ProcID, tag Tag, payload any) {
 // whole call either happens before the crash tick or unwinds, which is
 // one of the legal behaviours.
 func (e *Env) Broadcast(tag Tag, payload any) {
-	for q := 1; q <= e.N(); q++ {
-		e.Send(ids.ProcID(q), tag, payload)
+	e.checkAlive()
+	e.p.sys.broadcast(e.p.id, tag, payload)
+}
+
+// Multicast sends the message to every member of dests (ascending
+// identity order, the same order a Send loop over dests.Members would
+// use), sharing Broadcast's single-stamp fan-out fast path. Members
+// above N are rejected like Send's unknown-process check.
+func (e *Env) Multicast(dests ids.Set, tag Tag, payload any) {
+	e.checkAlive()
+	if int(dests.Max()) > e.N() {
+		panic(fmt.Sprintf("sim: Multicast to unknown process %d", dests.Max()))
 	}
+	e.p.sys.multicast(e.p.id, dests, tag, payload)
 }
 
 // Step blocks until something happens, then returns. If a new message is
@@ -150,13 +161,15 @@ func (e *Env) StepUntil(wake Time) (Message, bool) {
 		}
 		if p.nextRead < len(p.inbox) {
 			m := p.inbox[p.nextRead]
-			p.inbox[p.nextRead] = Message{}
 			p.nextRead++
 			return m, true
 		}
 		if p.nextRead > 0 {
-			// Inbox fully drained: reset it so long runs reuse the same
-			// backing array instead of growing it forever.
+			// Inbox fully drained: zero the consumed prefix in one bulk
+			// clear (cheaper than a per-message wipe at read time, same
+			// payload-retention hygiene) and reset, so long runs reuse
+			// the same backing array instead of growing it forever.
+			clear(p.inbox)
 			p.inbox = p.inbox[:0]
 			p.nextRead = 0
 		}

@@ -153,10 +153,22 @@ func (c Config) bandwidth() int {
 
 // Pattern is the failure pattern of a run: which processes crash and when.
 // It is derived from Config.Crashes and is the ground truth failure
-// detector oracles consult.
+// detector oracles consult. The crashed-by set is a step function of
+// time with at most t steps, so the pattern precomputes one (time, set)
+// window per distinct crash tick at construction; every query after that
+// is a binary search over immutable data — one shared ground truth for
+// all oracles and samplers instead of a per-oracle O(n) pattern scan,
+// and safe from any goroutine.
 type Pattern struct {
 	n       int
 	crashAt []Time // index 1..n; Never for correct processes
+
+	// winTimes holds the sorted distinct crash ticks; winSets[i] is the
+	// set of processes crashed at or before any t in
+	// [winTimes[i], winTimes[i+1]). Before winTimes[0] nothing has
+	// crashed; the last set is the pattern's faulty set.
+	winTimes []Time
+	winSets  []ids.Set
 }
 
 func newPattern(cfg Config) *Pattern {
@@ -167,7 +179,35 @@ func newPattern(cfg Config) *Pattern {
 	for p, at := range cfg.Crashes {
 		fp.crashAt[p] = at
 	}
+	for p := 1; p <= fp.n; p++ {
+		if fp.crashAt[p] != Never {
+			fp.winTimes = append(fp.winTimes, fp.crashAt[p])
+		}
+	}
+	sort.Slice(fp.winTimes, func(i, j int) bool { return fp.winTimes[i] < fp.winTimes[j] })
+	fp.winTimes = dedupTimes(fp.winTimes)
+	fp.winSets = make([]ids.Set, len(fp.winTimes))
+	var acc ids.Set
+	for i, t := range fp.winTimes {
+		for p := 1; p <= fp.n; p++ {
+			if fp.crashAt[p] == t {
+				acc = acc.Add(ids.ProcID(p))
+			}
+		}
+		fp.winSets[i] = acc
+	}
 	return fp
+}
+
+// dedupTimes collapses equal neighbours of a sorted time slice in place.
+func dedupTimes(ts []Time) []Time {
+	out := ts[:0]
+	for _, t := range ts {
+		if len(out) == 0 || out[len(out)-1] != t {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // N returns the number of processes.
@@ -179,34 +219,60 @@ func (fp *Pattern) CrashTime(p ids.ProcID) Time { return fp.crashAt[p] }
 // Crashed reports whether p has crashed at or before time at.
 func (fp *Pattern) Crashed(p ids.ProcID, at Time) bool { return fp.crashAt[p] <= at }
 
+// CrashedSet returns the set of processes crashed at or before time at:
+// a binary search over the precomputed crash windows.
+func (fp *Pattern) CrashedSet(at Time) ids.Set {
+	i := sort.Search(len(fp.winTimes), func(i int) bool { return fp.winTimes[i] > at })
+	if i == 0 {
+		return ids.Set{}
+	}
+	return fp.winSets[i-1]
+}
+
+// CrashedWindow returns the crashed-by set at time at together with the
+// half-open window [from, till) of times sharing it, for callers that
+// memoize across queries. from underflows to a far-negative sentinel
+// before the first crash (lag-shifted queries probe negative times);
+// till is Never after the last one.
+func (fp *Pattern) CrashedWindow(at Time) (set ids.Set, from, till Time) {
+	i := sort.Search(len(fp.winTimes), func(i int) bool { return fp.winTimes[i] > at })
+	from, till = Time(-1<<62), Never
+	if i < len(fp.winTimes) {
+		till = fp.winTimes[i]
+	}
+	if i == 0 {
+		return ids.Set{}, from, till
+	}
+	return fp.winSets[i-1], fp.winTimes[i-1], till
+}
+
+// NextCrashAfter returns the earliest crash tick strictly after t, or
+// Never when no further crash is scheduled.
+func (fp *Pattern) NextCrashAfter(t Time) Time {
+	i := sort.Search(len(fp.winTimes), func(i int) bool { return fp.winTimes[i] > t })
+	if i == len(fp.winTimes) {
+		return Never
+	}
+	return fp.winTimes[i]
+}
+
 // AllCrashed reports whether every process of s has crashed by time at.
 // The empty set is vacuously all-crashed.
 func (fp *Pattern) AllCrashed(s ids.Set, at Time) bool {
-	all := true
-	s.ForEach(func(p ids.ProcID) bool {
-		if !fp.Crashed(p, at) {
-			all = false
-			return false
-		}
-		return true
-	})
-	return all
+	return s.SubsetOf(fp.CrashedSet(at))
 }
 
 // Correct returns the set of processes that never crash in the run.
 func (fp *Pattern) Correct() ids.Set {
-	var s ids.Set
-	for p := 1; p <= fp.n; p++ {
-		if fp.crashAt[p] == Never {
-			s = s.Add(ids.ProcID(p))
-		}
-	}
-	return s
+	return ids.FullSet(fp.n).Minus(fp.Faulty())
 }
 
 // Faulty returns the complement of Correct within {1..n}.
 func (fp *Pattern) Faulty() ids.Set {
-	return ids.FullSet(fp.n).Minus(fp.Correct())
+	if len(fp.winSets) == 0 {
+		return ids.Set{}
+	}
+	return fp.winSets[len(fp.winSets)-1]
 }
 
 // System is one simulated asynchronous system instance. Create it with
@@ -219,9 +285,9 @@ func (fp *Pattern) Faulty() ids.Set {
 type System struct {
 	cfg     Config
 	pattern *Pattern
-	rng     *rand.Rand
-	now     atomic.Int64 // atomic: cross-thread readers may sample the clock
-	procs   []*Proc      // index 1..N
+	src     rand.Source64 // the delivery draw stream (see System.intn)
+	now     atomic.Int64  // atomic: cross-thread readers may sample the clock
+	procs   []*Proc       // index 1..N
 	metrics *Metrics
 
 	// yield returns the run token to Run's goroutine: during the launch
@@ -249,12 +315,45 @@ type System struct {
 	// Network state: messages accepted but not yet routed (arrivals),
 	// deliverable messages (eligible) and messages bucketed by the tick
 	// their scripted hold releases them (held, keys sorted in heldTimes).
-	// bucketPool recycles drained hold buckets across a run.
+	// bucketPool recycles drained hold buckets across a run. eligible
+	// drops the envelope wrapper: a message's notBefore is spent the
+	// moment it becomes eligible, so the list moves bare 56-byte
+	// Messages, not 64-byte envelopes.
 	arrivals   []envelope
-	eligible   []envelope
+	eligible   []Message
 	held       map[Time][]envelope
 	heldTimes  []Time
 	bucketPool [][]envelope
+
+	// Delivery batching state: the delivery phase appends this tick's
+	// selected messages straight onto their destination inboxes (the
+	// inbox tail IS the batch buffer — no intermediate copy), marking the
+	// touched destinations in batched and each destination's pre-tick
+	// inbox length in batchStart. The flush pass then pays the
+	// per-destination costs once per batch: the crash check (dropping the
+	// whole tail, zeroed so no payload outlives the drop), the
+	// DeliveredAt stamps, the wake-hint and the per-(destination, tag)
+	// counter bumps. Owned by the run token like the rest of the network
+	// state.
+	batched    pset
+	batchStart []int
+	// selPairs / selSlot / selNext are the reusable buffers of the
+	// full-delivery fast path: when bandwidth covers the whole eligible
+	// set, selection swap-removes run over compact (index, dest) pairs,
+	// consuming the identical draw sequence while assigning each message
+	// its final inbox slot (selSlot); selNext tracks the next free slot
+	// per destination (doubling as the per-destination count while the
+	// pairs are built), length N+1.
+	selPairs []selPair
+	selSlot  []int32
+	selNext  []int32
+	// eligDirty is the high-water mark of stale entries in eligible's
+	// recycled capacity after full-delivery truncations. The wipe that
+	// keeps payload references from outliving their delivery is deferred
+	// to the first tick with no eligible traffic: a busy network
+	// overwrites the recycled capacity every tick anyway, so the
+	// sequential clear runs when traffic pauses, not per tick.
+	eligDirty int
 
 	// holdUntil is the per-(from,to) release matrix precomputed from the
 	// Since=0 entries of Config.Holds at New time, flattened to
@@ -353,7 +452,7 @@ func New(cfg Config) (*System, error) {
 	s := &System{
 		cfg:     cfg,
 		pattern: newPattern(cfg),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		src:     rand.NewSource(cfg.Seed).(rand.Source64),
 		metrics: newMetrics(),
 		held:    make(map[Time][]envelope),
 		yield:   make(chan struct{}),
@@ -361,6 +460,8 @@ func New(cfg Config) (*System, error) {
 	}
 	s.pw = pwords(cfg.N)
 	s.deadlines = make([]Time, cfg.N+1)
+	s.batchStart = make([]int, cfg.N+1)
+	s.selNext = make([]int32, cfg.N+1)
 	for _, at := range cfg.Crashes {
 		s.crashTimes = append(s.crashTimes, at)
 	}
@@ -717,30 +818,249 @@ func (s *System) tick(self *Proc) bool {
 	return false
 }
 
+// intn returns a uniform draw in [0, n), consuming the source exactly as
+// rand.New(source).Intn(n) would: the same power-of-two mask and
+// rejection-sampling steps over the same Int63 stream (math/rand's
+// generator and Int31n algorithm are frozen by the Go 1 compatibility
+// promise, and the 265-cell suite golden pins the claim byte-for-byte).
+// Inlining the draw skips three nested method calls per delivered
+// message — the irreducible floor of the delivery loop.
+func (s *System) intn(n int) int {
+	if n&(n-1) == 0 { // n is a power of two, including n == 1
+		return int(int32(s.src.Int63()>>32) & int32(n-1))
+	}
+	max := int32((1 << 31) - 1 - (1<<31)%uint32(n))
+	v := int32(s.src.Int63() >> 32)
+	for v > max {
+		v = int32(s.src.Int63() >> 32)
+	}
+	return int(v % int32(n))
+}
+
 // deliverPhase routes accepted messages into the eligibility structures
 // and delivers up to Bandwidth eligible messages, chosen uniformly at
 // random among all eligible ones. Deliveries land in inboxes silently;
 // recipients are woken by the subsequent wake phase.
+//
+// Delivery is batched: the selection loop (whose draw sequence defines
+// the run and is bit-for-bit unchanged) appends each chosen message,
+// stamped, straight onto its destination inbox — selection order is
+// inbox order, exactly as per-message delivery appended them — and
+// flushBatches then pays the per-destination costs (crash check,
+// wake-hint, counter bumps) once per (destination, tag) batch instead
+// of once per message.
+// selPair is one entry of the full-delivery selection: the message's
+// index in eligible and its destination, compact enough (8 bytes) that
+// the selection loop's random swaps stay cache-resident at sizes where
+// the eligible array itself does not.
+type selPair struct{ i, to int32 }
+
+// fullScatterMin is the eligible size (in messages, ~1 MB of Message
+// data) above which the full-delivery path switches from direct inbox
+// appends to the three-pass scatter form: below it the random reads of
+// eligible hit cache and the extra passes only add overhead, above it
+// the dependent random reads dominate and sequential passes win. A var
+// only so tests can force either form over the same workload and pin
+// their equivalence; nothing else may write it.
+var fullScatterMin = 16384
+
 func (s *System) deliverPhase(now Time) {
 	s.route(now)
 	k := s.cfg.bandwidth()
+	if len(s.eligible) == 0 {
+		if s.eligDirty > 0 {
+			// Traffic paused: wipe the stale recycled capacity left by
+			// full-delivery truncations in one sequential clear, so no
+			// payload reference outlives its delivery past the pause.
+			clear(s.eligible[:s.eligDirty])
+			s.eligDirty = 0
+		}
+		return
+	}
+	if n := len(s.eligible); k >= n {
+		// Full delivery: every eligible message lands this tick, so the
+		// draws only decide per-destination arrival order.
+		//
+		// Small ticks (eligible comfortably cache-resident) run the
+		// swap-remove selection over an index permutation and append
+		// each chosen message straight onto its destination inbox.
+		if n < fullScatterMin {
+			for q := 1; q <= s.cfg.N; q++ {
+				s.batchStart[q] = len(s.procs[ids.ProcID(q)].inbox)
+			}
+			if cap(s.selSlot) < n {
+				s.selSlot = make([]int32, n)
+			}
+			idx := s.selSlot[:n]
+			for i := range idx {
+				idx[i] = int32(i)
+			}
+			for sz := n; sz > 0; sz-- {
+				j := s.intn(sz)
+				m := &s.eligible[idx[j]]
+				idx[j] = idx[sz-1]
+				m.DeliveredAt = now
+				p := s.procs[m.To]
+				p.inbox = append(p.inbox, *m)
+			}
+			if n > s.eligDirty {
+				s.eligDirty = n
+			}
+			s.eligible = s.eligible[:0]
+			s.inflight.Add(-int64(n))
+			s.flushAll(now)
+			return
+		}
+		// Large ticks: the selection loop above would spend its time on
+		// dependent random reads of the (now cache-breaking) eligible
+		// array, so restructure it into three passes that touch the big
+		// array only sequentially:
+		//
+		//  1. one sequential scan builds compact (index, dest) pairs and
+		//     per-destination counts, and the inboxes are extended once
+		//     per destination to their final lengths;
+		//  2. the unchanged swap-remove selection runs over the 8-byte
+		//     pairs (cache-resident even at n², where eligible is not),
+		//     assigning each message its final inbox slot in draw order;
+		//  3. one sequential scan moves the messages, stamped, into
+		//     their slots — independent scattered writes instead of
+		//     dependent scattered reads.
+		//
+		// Draw consumption (Intn(n), Intn(n−1), …) and each inbox's
+		// resulting content and order are bit-identical to the general
+		// loop below: slots are handed out in draw order per
+		// destination, exactly where per-message appends would land.
+		// Eligible is truncated without a wipe (eligDirty defers that
+		// to the next idle tick); every extended inbox slot is written
+		// exactly once in pass 3 before anything reads it.
+		if cap(s.selPairs) < n {
+			s.selPairs = make([]selPair, n)
+			s.selSlot = make([]int32, n)
+		}
+		sel := s.selPairs[:n]
+		slot := s.selSlot[:n]
+		next := s.selNext
+		for i := range sel {
+			to := s.eligible[i].To
+			sel[i] = selPair{i: int32(i), to: int32(to)}
+			next[to]++
+		}
+		for q := 1; q <= s.cfg.N; q++ {
+			p := s.procs[ids.ProcID(q)]
+			s.batchStart[q] = len(p.inbox)
+			if c := next[q]; c > 0 {
+				p.inbox = growInbox(p.inbox, int(c))
+				next[q] = int32(s.batchStart[q])
+			}
+		}
+		for sz := n; sz > 0; sz-- {
+			j := s.intn(sz)
+			e := sel[j]
+			sel[j] = sel[sz-1]
+			slot[e.i] = next[e.to]
+			next[e.to]++
+		}
+		for i := range s.eligible {
+			m := &s.eligible[i]
+			m.DeliveredAt = now
+			s.procs[m.To].inbox[slot[i]] = *m
+		}
+		clear(next)
+		if n > s.eligDirty {
+			s.eligDirty = n
+		}
+		s.eligible = s.eligible[:0]
+		s.inflight.Add(-int64(n))
+		s.flushAll(now)
+		return
+	}
+	delivered := 0
 	for i := 0; i < k && len(s.eligible) > 0; i++ {
-		j := s.rng.Intn(len(s.eligible))
-		env := s.eligible[j]
+		j := s.intn(len(s.eligible))
+		m := s.eligible[j]
 		last := len(s.eligible) - 1
 		s.eligible[j] = s.eligible[last]
-		s.eligible[last] = envelope{}
+		s.eligible[last] = Message{}
 		s.eligible = s.eligible[:last]
-		m := env.msg
-		s.inflight.Add(-1)
-		if s.pattern.Crashed(m.To, now) {
-			s.metrics.countDropped(m.Tag)
+		m.DeliveredAt = now
+		to := m.To
+		if !s.batched.has(to) {
+			s.batched.set(to)
+			s.batchStart[to] = len(s.procs[to].inbox)
+		}
+		p := s.procs[to]
+		p.inbox = append(p.inbox, m)
+		delivered++
+	}
+	if delivered == 0 {
+		return
+	}
+	s.inflight.Add(-int64(delivered))
+	s.flushBatches(now)
+}
+
+// flushBatches lands the inbox tails the selection loop appended this
+// tick. Batches to crashed destinations are dropped whole: the tail is
+// cut back off the inbox and zeroed, so no payload reference outlives
+// the drop and the inbox state matches per-message delivery exactly
+// (which never appended to a crashed destination at all). Counters stay
+// per-message-exact — equal-tag runs are counted with one bump of the
+// run's length.
+func (s *System) flushBatches(now Time) {
+	for w := 0; w < s.pw; w++ {
+		base := w << 6
+		for word := s.batched[w]; word != 0; word &= word - 1 {
+			to := ids.ProcID(base + bits.TrailingZeros64(word) + 1)
+			p := s.procs[to]
+			batch := p.inbox[s.batchStart[to]:]
+			if s.pattern.Crashed(to, now) {
+				s.countByTag(batch, s.metrics.countDroppedN)
+				p.inbox = p.inbox[:s.batchStart[to]]
+				clear(batch)
+				continue
+			}
+			s.countByTag(batch, s.metrics.countDeliveredN)
+			s.inboxDue.set(to)
+		}
+		s.batched[w] = 0
+	}
+}
+
+// flushAll is flushBatches for the full-delivery path, where every
+// destination's batchStart was recorded up front: it scans the procs
+// directly (skipping untouched inboxes) instead of walking the batched
+// set, which the selection loop then never has to maintain.
+func (s *System) flushAll(now Time) {
+	for q := 1; q <= s.cfg.N; q++ {
+		to := ids.ProcID(q)
+		p := s.procs[to]
+		batch := p.inbox[s.batchStart[to]:]
+		if len(batch) == 0 {
 			continue
 		}
-		m.DeliveredAt = now
-		s.procs[m.To].inbox = append(s.procs[m.To].inbox, m)
-		s.metrics.countDelivered(m.Tag)
-		s.inboxDue.set(m.To)
+		if s.pattern.Crashed(to, now) {
+			s.countByTag(batch, s.metrics.countDroppedN)
+			p.inbox = p.inbox[:s.batchStart[to]]
+			clear(batch)
+			continue
+		}
+		s.countByTag(batch, s.metrics.countDeliveredN)
+		s.inboxDue.set(to)
+	}
+}
+
+// countByTag bumps a per-tag counter for every message of the batch,
+// coalescing runs of equal tags (the common case: a protocol round
+// lands as one same-tag batch per destination) into one bump.
+func (s *System) countByTag(batch []Message, count func(Tag, int64)) {
+	for i := 0; i < len(batch); {
+		tag := batch[i].Tag
+		j := i + 1
+		for j < len(batch) && batch[j].Tag == tag {
+			j++
+		}
+		count(tag, int64(j-i))
+		i = j
 	}
 }
 
@@ -749,9 +1069,14 @@ func (s *System) deliverPhase(now Time) {
 // deterministic: processes execute sequentially, so sends are appended
 // in process-step order.
 func (s *System) route(now Time) {
+	if s.holdUntil == nil {
+		// No scripted holds: sends append straight to eligible, so there
+		// is nothing to route and no bucket can exist.
+		return
+	}
 	for _, e := range s.arrivals {
 		if e.notBefore <= now {
-			s.eligible = append(s.eligible, e)
+			s.eligible = append(s.eligible, e.msg)
 			continue
 		}
 		if _, ok := s.held[e.notBefore]; !ok {
@@ -771,7 +1096,9 @@ func (s *System) route(now Time) {
 		t := s.heldTimes[0]
 		s.heldTimes = s.heldTimes[1:]
 		b := s.held[t]
-		s.eligible = append(s.eligible, b...)
+		for i := range b {
+			s.eligible = append(s.eligible, b[i].msg)
+		}
 		delete(s.held, t)
 		s.bucketPool = append(s.bucketPool, b[:0])
 	}
@@ -836,22 +1163,120 @@ func (s *System) send(m Message) {
 	if s.pattern.Crashed(m.From, now) {
 		return
 	}
-	var nb Time
-	if s.holdUntil != nil {
-		idx := int(m.From)*(s.cfg.N+1) + int(m.To)
-		nb = s.holdUntil[idx]
-		if s.holdWins != nil {
-			for _, w := range s.holdWins[idx] {
-				if w.since <= now && now < w.until && w.until > nb {
-					nb = w.until
-				}
+	m.SentAt = now
+	if s.holdUntil == nil {
+		// No scripted holds: the message would be routed to the eligible
+		// tail, unconditionally, by the next delivery phase — append it
+		// there directly and skip the arrivals staging. Selection (which
+		// permutes eligible) never runs between this send and that
+		// routing point, so the list is exactly what routing would build.
+		s.eligible = append(s.eligible, m)
+	} else {
+		s.arrivals = append(s.arrivals, envelope{msg: m, notBefore: s.holdFor(m.From, m.To, now)})
+	}
+	s.inflight.Add(1)
+	s.metrics.countSent(m.Tag)
+}
+
+// broadcast is the fan-out fast path behind Env.Broadcast: the sender
+// liveness check, clock read, and SentAt stamp are paid once for the
+// whole destination set instead of once per copy. The caller holds the
+// run token for the entire fan-out, so the clock and the crash
+// predicate cannot change mid-loop — destination order (1..N) and every
+// per-copy hold window match N individual sends exactly.
+func (s *System) broadcast(from ids.ProcID, tag Tag, payload any) {
+	now := s.Now()
+	if s.pattern.Crashed(from, now) {
+		return
+	}
+	m := Message{From: from, Tag: tag, Payload: payload, SentAt: now}
+	n := s.cfg.N
+	if s.holdUntil == nil {
+		// Grow once, then write the copies by index: the per-copy cost is
+		// one message store, with no per-append bounds/grow bookkeeping.
+		base := len(s.eligible)
+		s.eligible = growEligible(s.eligible, n)
+		dst := s.eligible[base : base+n]
+		for q := range dst {
+			m.To = ids.ProcID(q + 1)
+			dst[q] = m
+		}
+	} else {
+		for q := 1; q <= n; q++ {
+			m.To = ids.ProcID(q)
+			s.arrivals = append(s.arrivals, envelope{msg: m, notBefore: s.holdFor(from, m.To, now)})
+		}
+	}
+	s.inflight.Add(int64(n))
+	s.metrics.countSentN(tag, int64(n))
+}
+
+// multicast fans one payload out to every member of dests (ascending),
+// with the same single-stamp fast path as broadcast.
+func (s *System) multicast(from ids.ProcID, dests ids.Set, tag Tag, payload any) {
+	count := dests.CountIn(s.cfg.N)
+	if count == 0 {
+		return
+	}
+	now := s.Now()
+	if s.pattern.Crashed(from, now) {
+		return
+	}
+	m := Message{From: from, Tag: tag, Payload: payload, SentAt: now}
+	if s.holdUntil == nil {
+		dests.ForEachIn(s.cfg.N, func(q ids.ProcID) bool {
+			m.To = q
+			s.eligible = append(s.eligible, m)
+			return true
+		})
+	} else {
+		dests.ForEachIn(s.cfg.N, func(q ids.ProcID) bool {
+			m.To = q
+			s.arrivals = append(s.arrivals, envelope{msg: m, notBefore: s.holdFor(from, q, now)})
+			return true
+		})
+	}
+	s.inflight.Add(int64(count))
+	s.metrics.countSentN(tag, int64(count))
+}
+
+// growEligible extends e by n elements, reallocating like append would.
+// The caller must overwrite all n new elements: recycled capacity is
+// exposed as-is.
+func growEligible(e []Message, n int) []Message {
+	if len(e)+n > cap(e) {
+		grown := make([]Message, len(e), max(2*cap(e), len(e)+n))
+		copy(grown, e)
+		e = grown
+	}
+	return e[:len(e)+n]
+}
+
+// growInbox is growEligible for inboxes: it extends b by n elements,
+// reallocating like append would, and the caller must overwrite all n
+// new elements.
+func growInbox(b []Message, n int) []Message {
+	if len(b)+n > cap(b) {
+		grown := make([]Message, len(b), max(2*cap(b), len(b)+n))
+		copy(grown, b)
+		b = grown
+	}
+	return b[:len(b)+n]
+}
+
+// holdFor computes the release time for a (from, to) copy accepted at
+// now: the static hold matrix entry, raised by any active hold window.
+func (s *System) holdFor(from, to ids.ProcID, now Time) Time {
+	idx := int(from)*(s.cfg.N+1) + int(to)
+	nb := s.holdUntil[idx]
+	if s.holdWins != nil {
+		for _, w := range s.holdWins[idx] {
+			if w.since <= now && now < w.until && w.until > nb {
+				nb = w.until
 			}
 		}
 	}
-	m.SentAt = now
-	s.arrivals = append(s.arrivals, envelope{msg: m, notBefore: nb})
-	s.inflight.Add(1)
-	s.metrics.countSent(m.Tag)
+	return nb
 }
 
 // InFlight returns the number of undelivered messages (diagnostics).

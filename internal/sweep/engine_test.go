@@ -84,6 +84,30 @@ func TestDeterministicAgreement(t *testing.T) {
 	}
 }
 
+// TestSmokeN256 runs one kset-omega cell at the simulator's size cap:
+// n = 256 is a first-class size for the batched delivery path, and this
+// single-cell smoke keeps it exercised in every `go test` run (the big
+// EXP-SCALE cells only run in the experiments suite).
+func TestSmokeN256(t *testing.T) {
+	m := Matrix{
+		Name: "kset-smoke-256", Protocol: "kset-omega",
+		Seeds: []int64{0}, Sizes: []Size{{N: 256, T: 127}},
+		Patterns: []CrashPattern{{Name: "late-crash", Crashes: []CrashSpec{{Proc: 0, At: 400}}}},
+		Combos:   []Combo{{Z: 2}},
+		GST:      300, MaxSteps: 4_000_000,
+	}
+	r, err := Run(m, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 1 {
+		t.Fatalf("expected 1 cell, got %d", len(r.Cells))
+	}
+	if !r.OK() {
+		t.Fatalf("n=256 smoke failed: %s", r.Summary())
+	}
+}
+
 // TestResultsOrderedByIndex: the report lists cells in matrix order no
 // matter which worker finished first.
 func TestResultsOrderedByIndex(t *testing.T) {
