@@ -18,6 +18,8 @@
 //	experiments -merge -report merged.json shard-*.json
 //	experiments ... -golden suite.golden.json          # byte-compare the suite
 //	experiments ... -cpuprofile cpu.prof -memprofile mem.prof
+//	experiments -replay MATRIX:INDEX                   # trace one suite cell
+//	experiments -replay MATRIX:INDEX -perturb stab+2000 [-trace full]
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -38,6 +41,7 @@ import (
 	"fdgrid/internal/ids"
 	"fdgrid/internal/sim"
 	"fdgrid/internal/sweep"
+	"fdgrid/internal/trace"
 )
 
 func main() {
@@ -53,12 +57,25 @@ func main() {
 		shardSpec = flag.String("shard", "", "run only shard i/m of every matrix (format \"i/m\"); requires -report and skips the markdown output")
 		merge     = flag.Bool("merge", false, "merge the shard suite files given as arguments into one suite; requires -report")
 		golden    = flag.String("golden", "", "after writing the suite JSON, byte-compare it against this file and fail on any difference")
+		replay    = flag.String("replay", "", "re-run one suite cell with decision tracing on (format \"MATRIX:INDEX\"); skips the suite")
+		perturb   = flag.String("perturb", "", "with -replay: one counterfactual edit (\"gst±K\", \"stab±K\", \"crash=P@T\", \"hold[I]±K\") applied to a second run, diffed against the first")
+		traceLvl  = flag.String("trace", "", "with -replay: trace level (\"decisions\" or \"full\"; default decisions)")
 	)
 	flag.Parse()
 
 	fatal := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *replay != "" {
+		if err := runReplay(*replay, *perturb, *traceLvl, *seeds, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *perturb != "" || *traceLvl != "" {
+		fatal(fmt.Errorf("experiments: -perturb and -trace require -replay"))
 	}
 
 	if *merge {
@@ -203,29 +220,149 @@ reproduction targets.
 		return r
 	}
 
-	expF1(&b, run, seeds)
-	expF2(&b, run, seeds)
-	expF3(&b, run, seeds)
-	expF3ab(&b, run, seeds)
-	expF4(&b)
-	expF5(&b, run, seeds)
-	expF6(&b, run, seeds)
-	expF8(&b, run, seeds)
-	expF9(&b, run, seeds)
-	expT5(&b, run, seeds)
-	expT8(&b, run, seeds)
-	expT9(&b, run)
-	expBaselines(&b, run, seeds)
-	expRepeated(&b, run, seeds)
-	expAblation(&b, run, seeds)
-	expScale(&b, run, seeds)
-	expOracle(&b, run, seeds)
+	forEachExperiment(&b, run, seeds)
+	if runErr == nil && opts.Shard.Count == 0 {
+		// Sharded runs skip the counterfactual: it never contributes to
+		// the suite JSON (its runs bypass `run`), and shard markdown is
+		// discarded anyway.
+		runErr = expCounterfactual(&b, seeds)
+	}
 	expPerf(&b, benchFile)
 
 	if runErr != nil {
 		return "", nil, runErr
 	}
 	return b.String(), reports, nil
+}
+
+// forEachExperiment renders every sweep-driven experiment section, in
+// suite order, through run. It is the single definition of which
+// matrices make up the suite: buildSuite runs them, suiteMatrices
+// collects them without running a cell.
+func forEachExperiment(b *strings.Builder, run func(sweep.Matrix) *sweep.Report, seeds int) {
+	expF1(b, run, seeds)
+	expF2(b, run, seeds)
+	expF3(b, run, seeds)
+	expF3ab(b, run, seeds)
+	expF4(b)
+	expF5(b, run, seeds)
+	expF6(b, run, seeds)
+	expF8(b, run, seeds)
+	expF9(b, run, seeds)
+	expT5(b, run, seeds)
+	expT8(b, run, seeds)
+	expT9(b, run)
+	expBaselines(b, run, seeds)
+	expRepeated(b, run, seeds)
+	expAblation(b, run, seeds)
+	expScale(b, run, seeds)
+	expOracle(b, run, seeds)
+}
+
+// suiteMatrices returns every suite matrix, in suite order, without
+// running any cells: the exp sections render over empty reports into a
+// discarded builder. -replay resolves its MATRIX:INDEX argument against
+// this list, so a replayed cell is exactly the suite cell of that name
+// and index.
+func suiteMatrices(seeds int) []sweep.Matrix {
+	var b strings.Builder
+	var ms []sweep.Matrix
+	forEachExperiment(&b, func(m sweep.Matrix) *sweep.Report {
+		ms = append(ms, m)
+		return &sweep.Report{Matrix: m}
+	}, seeds)
+	return ms
+}
+
+// runReplay handles -replay: re-run suite cell "MATRIX:INDEX" with
+// decision tracing forced on and print its trace fingerprint; with a
+// -perturb spec, run the perturbed variant too and report the first
+// divergence between the two traces.
+func runReplay(spec, pertSpec, level string, seeds, workers int) error {
+	name, index, err := parseReplaySpec(spec)
+	if err != nil {
+		return err
+	}
+	var m sweep.Matrix
+	found := false
+	for _, cand := range suiteMatrices(seeds) {
+		if cand.Name == name {
+			m, found = cand, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("experiments: no suite matrix named %q (see EXPERIMENTS.md for names)", name)
+	}
+	lvl, err := trace.ParseLevel(level)
+	if err != nil {
+		return err
+	}
+	if lvl == trace.Off {
+		lvl = trace.Decisions
+	}
+
+	if pertSpec == "" {
+		// No counterfactual: trace the one cell as declared. A shard of
+		// Count = len(cells) owns exactly the cells with index ≡ INDEX
+		// (mod Count) — that is, the one cell.
+		m.TraceLevel = lvl.String()
+		cells, err := m.Cells()
+		if err != nil {
+			return err
+		}
+		if index < 0 || index >= len(cells) {
+			return fmt.Errorf("experiments: replay index %d outside matrix %q (%d cells)", index, name, len(cells))
+		}
+		r, err := sweep.Run(m, sweep.Options{Workers: workers, Shard: sweep.Shard{Index: index, Count: len(cells)}})
+		if err != nil {
+			return err
+		}
+		c := r.Cells[0]
+		fmt.Printf("replay %s:%d (%s, trace=%s)\n", name, index, m.Protocol, lvl)
+		printReplayCell("cell", c)
+		return nil
+	}
+
+	pert, err := sweep.ParsePerturbation(pertSpec)
+	if err != nil {
+		return err
+	}
+	rr, err := sweep.Replay(m, index, pert, lvl)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replay %s:%d (%s, trace=%s, perturb %s)\n", name, index, m.Protocol, lvl, pert)
+	printReplayCell("base", rr.Base)
+	printReplayCell("perturbed", rr.Perturbed)
+	if rr.Div == nil {
+		fmt.Println("divergence: none (the perturbation changed nothing the trace observes)")
+	} else {
+		fmt.Printf("divergence: %s\n", rr.Div.Summary)
+	}
+	return nil
+}
+
+func printReplayCell(label string, c sweep.CellResult) {
+	oracle := ""
+	if c.Oracle != "" {
+		oracle = " oracle=" + c.Oracle
+	}
+	fmt.Printf("  %-9s seed=%d n=%d t=%d%s verdict=%s steps=%d trace_events=%d trace_digest=%s\n",
+		label, c.Seed, c.Size.N, c.Size.T, oracle, c.Verdict, c.Steps, c.TraceEvents, c.TraceDigest)
+}
+
+// parseReplaySpec splits "MATRIX:INDEX" (matrix names contain no colon).
+func parseReplaySpec(spec string) (string, int, error) {
+	i := strings.LastIndex(spec, ":")
+	if i <= 0 {
+		return "", 0, fmt.Errorf("experiments: bad -replay %q (want MATRIX:INDEX)", spec)
+	}
+	index, err := strconv.Atoi(spec[i+1:])
+	if err != nil {
+		return "", 0, fmt.Errorf("experiments: bad -replay index in %q: %v", spec, err)
+	}
+	return spec[:i], index, nil
 }
 
 // suiteJSON renders the suite: a JSON array of the canonical per-matrix
@@ -1007,6 +1144,86 @@ func conformanceOf(cells []sweep.CellResult) string {
 func sRole(c sweep.CellResult) string   { return c.OracleS }
 func phiRole(c sweep.CellResult) string { return c.OraclePhi }
 
+// oracleFlapMatrix is the EXP-ORACLE leader-flap/late-stab matrix,
+// shared with EXP-CF and resolvable by -replay, so a replayed or
+// perturbed cell is exactly a suite cell. It applies the same seed cap
+// expOracle does, keeping its cell indices stable however the suite is
+// invoked.
+func oracleFlapMatrix(seeds int) sweep.Matrix {
+	if seeds > 2 {
+		seeds = 2 // large cells: bound the suite's wall time
+	}
+	return sweep.Matrix{
+		Name: "ORACLE-kset-flap", Protocol: "kset-omega",
+		Seeds: seedList(seeds),
+		Sizes: []sweep.Size{{N: 32, T: 15}, {N: 64, T: 31}, {N: 128, T: 63}},
+		Patterns: []sweep.CrashPattern{{Name: "late-crash",
+			Crashes: []sweep.CrashSpec{{Proc: 0, At: 600}}}},
+		OracleFamilies: []adversary.OracleFamily{
+			{Kind: adversary.OracleLeaderFlap, Z: 2, Variants: 2, Seed: 31,
+				Start: 50, Period: 80, Flaps: 6, Settle: []int{1, 2}},
+			{Kind: adversary.OracleLateStab, Variants: 2, Seed: 32, Start: 200, Ramp: 300},
+		},
+		Combos: []sweep.Combo{{Z: 2}},
+		GST:    200, MaxSteps: 4_000_000,
+	}
+}
+
+// expCounterfactual: counterfactual replay of one EXP-ORACLE cell
+// (EXP-CF). Runs through sweep.Replay, not `run`, so its two traced
+// runs never enter the suite JSON — the committed suite golden is
+// untouched by this section.
+func expCounterfactual(b *strings.Builder, seeds int) error {
+	section(b, "EXP-CF · counterfactual replay — attributing a divergence to its cause",
+		"(not a paper claim) Every cell is deterministic, so re-running it under one declarative "+
+			"perturbation and diffing the two decision traces pins the *first* observable consequence "+
+			"of that change — a mechanized version of the paper's run-modification arguments "+
+			"(crash-vs-delay indistinguishability, Theorems 9–12). Here: the first late-stabilization "+
+			"parameter-script cell of ORACLE-kset-flap, replayed with the oracle's scripted "+
+			"stabilization pushed 2000 ticks later.")
+	m := oracleFlapMatrix(seeds)
+	cells, err := m.Cells()
+	if err != nil {
+		return err
+	}
+	index := -1
+	for i, c := range cells {
+		if !c.Oracle.None() && !c.Oracle.IsTimeline() && c.Seed == 0 {
+			index = i
+			break
+		}
+	}
+	if index < 0 {
+		return fmt.Errorf("experiments: EXP-CF found no parameter-script cell in %s", m.Name)
+	}
+	pert, err := sweep.ParsePerturbation("stab+2000")
+	if err != nil {
+		return err
+	}
+	rr, err := sweep.Replay(m, index, pert, trace.Decisions)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(b, "Replayed: `go run ./cmd/experiments -replay %s:%d -perturb %s` "+
+		"(n=%d, t=%d, seed %d, oracle `%s`, trace level `decisions`).\n\n",
+		m.Name, index, pert, rr.Base.Size.N, rr.Base.Size.T, rr.Base.Seed, rr.Base.Oracle)
+	tab := &cliutil.Table{Markdown: true, Headers: []string{
+		"run", "verdict", "rounds", "vticks", "trace events", "trace digest"}}
+	tab.Add("base", rr.Base.Verdict, rr.Base.MaxRound, rr.Base.Steps, rr.Base.TraceEvents, rr.Base.TraceDigest)
+	tab.Add(pert.String(), rr.Perturbed.Verdict, rr.Perturbed.MaxRound, rr.Perturbed.Steps, rr.Perturbed.TraceEvents, rr.Perturbed.TraceDigest)
+	b.WriteString(tab.String())
+	if rr.Div == nil {
+		b.WriteString("\nDivergence: none — the perturbation changed nothing the trace observes.\n")
+	} else {
+		fmt.Fprintf(b, "\nDivergence: %s\n", rr.Div.Summary)
+	}
+	verdict(b, rr.Base.Verdict == sweep.Pass && rr.Perturbed.Verdict == sweep.Pass && rr.Div != nil,
+		"both runs still decide (the algorithm tolerates the later stabilization); the trace diff "+
+			"pins the first decision the 2000-tick shift actually moved, and the divergence point is "+
+			"byte-reproducible run to run")
+	return nil
+}
+
 // expOracle: generated hostile-oracle families as a sweep dimension —
 // the classes are defined by what their oracles may do, so the oracle
 // is swept the way crash schedules are (EXP-ORACLE).
@@ -1023,20 +1240,7 @@ func expOracle(b *strings.Builder, run func(sweep.Matrix) *sweep.Report, seeds i
 	}
 
 	// Ω_z timelines flapping under the Fig. 3 k-set algorithm, n up to 128.
-	rFlap := run(sweep.Matrix{
-		Name: "ORACLE-kset-flap", Protocol: "kset-omega",
-		Seeds: seedList(seeds),
-		Sizes: []sweep.Size{{N: 32, T: 15}, {N: 64, T: 31}, {N: 128, T: 63}},
-		Patterns: []sweep.CrashPattern{{Name: "late-crash",
-			Crashes: []sweep.CrashSpec{{Proc: 0, At: 600}}}},
-		OracleFamilies: []adversary.OracleFamily{
-			{Kind: adversary.OracleLeaderFlap, Z: 2, Variants: 2, Seed: 31,
-				Start: 50, Period: 80, Flaps: 6, Settle: []int{1, 2}},
-			{Kind: adversary.OracleLateStab, Variants: 2, Seed: 32, Start: 200, Ramp: 300},
-		},
-		Combos: []sweep.Combo{{Z: 2}},
-		GST:    200, MaxSteps: 4_000_000,
-	})
+	rFlap := run(oracleFlapMatrix(seeds))
 	tab := &cliutil.Table{Markdown: true, Headers: []string{
 		"n", "oracle", "class", "conformance", "runs", "max distinct", "avg rounds", "avg vticks", "ok"}}
 	for _, g := range oracleGroups(rFlap) {

@@ -92,9 +92,11 @@ func ConsensusDS(nd *node.Node, rb *rbcast.Layer, susp fd.Suspector, v Value, ou
 		}
 	}
 
+	rec := env.Trace()
 	for decided == nil {
 		r++
 		c := ids.ProcID((r-1)%n + 1)
+		rec.Round(int64(env.Now()), int(me), r, ids.NewSet(c))
 
 		// Phase 1: learn the coordinator's estimate or suspect it.
 		if me == c {
@@ -150,6 +152,7 @@ func ConsensusDS(nd *node.Node, rb *rbcast.Layer, susp fd.Suspector, v Value, ou
 		}
 	}
 
+	rec.Decide(int64(env.Now()), int(me), r, int64(*decided))
 	out.Decide(me, Decision{Value: *decided, Round: r, At: env.Now()})
 	return *decided
 }

@@ -118,10 +118,12 @@ func ksetRun(nd *node.Node, rb *rbcast.Layer, oracle fd.Leader, v Value, out *Ou
 		handle(m)
 	}
 
+	rec := env.Trace()
 	for decided == nil {
 		r++
 		// Phase 1.
 		l := oracle.Trusted(me)
+		rec.Round(int64(env.Now()), int(me), r, l)
 		env.Broadcast(tags.phase1, phase1Msg{R: r, L: l, Est: est})
 		nd.WaitOn(func() bool {
 			return decided != nil || len(phase1[r]) >= n-t
@@ -180,6 +182,7 @@ func ksetRun(nd *node.Node, rb *rbcast.Layer, oracle fd.Leader, v Value, out *Ou
 		}
 	}
 
+	rec.Decide(int64(env.Now()), int(me), r, int64(*decided))
 	out.Decide(me, Decision{Value: *decided, Round: r, At: env.Now()})
 	return *decided
 }

@@ -120,12 +120,18 @@ func (w *LowerWheel) Handle(m sim.Message) (sim.Message, bool) {
 // Poll implements node.Layer: consume matching buffered moves (task T2),
 // then run one iteration of task T1.
 func (w *LowerWheel) Poll() {
+	moved := false
 	for len(w.buffered) > 0 && w.buffered[w.pos] > 0 {
 		w.buffered[w.pos]--
 		w.ring.Next()
 		w.pos = w.ring.Current()
 		w.sentThisVisit = false
 		w.moves++
+		moved = true
+	}
+	if moved {
+		w.env.Trace().Wheel(int64(w.env.Now()), int(w.env.ID()), "lower",
+			int64(w.pos.Leader), w.pos.X, w.moves)
 	}
 	pos := w.pos
 	me := w.env.ID()

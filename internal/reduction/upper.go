@@ -174,11 +174,19 @@ func (w *UpperWheel) Handle(m sim.Message) (sim.Message, bool) {
 // Poll implements node.Layer: consume matching l_moves (task T2), then
 // advance task T1's inquire/wait state machine.
 func (w *UpperWheel) Poll() {
+	moved := false
 	for len(w.buffered) > 0 && w.buffered[w.pos] > 0 {
 		w.buffered[w.pos]--
 		w.ring.Next()
 		w.pos = w.ring.Current()
 		w.lmoves++
+		moved = true
+	}
+	if moved {
+		// The upper wheel's position has no single leader; trace the
+		// candidate leader set L and leave the leader slot 0.
+		w.env.Trace().Wheel(int64(w.env.Now()), int(w.env.ID()), "upper",
+			0, w.pos.L, w.lmoves)
 	}
 	pos := w.pos
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fdgrid/internal/ids"
+	"fdgrid/internal/trace"
 )
 
 // Message is a point-to-point message. Payloads must be immutable values:
@@ -77,6 +78,13 @@ func (e *Env) All() ids.Set { return ids.FullSet(e.N()) }
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.p.sys.Now() }
+
+// Trace returns the run's decision-trace recorder, nil when the run is
+// untraced. Recorder methods are nil-safe and level-gated, so protocol
+// code records unconditionally:
+//
+//	env.Trace().Decide(int64(env.Now()), int(env.ID()), r, v)
+func (e *Env) Trace() *trace.Recorder { return e.p.sys.rec }
 
 // checkAlive unwinds the goroutine if the process crashed or the run
 // stopped (protocol code that swallowed a procKilled panic re-unwinds

@@ -62,6 +62,7 @@ import (
 	"sync/atomic"
 
 	"fdgrid/internal/ids"
+	"fdgrid/internal/trace"
 )
 
 // Time is the virtual clock, counted in scheduler ticks.
@@ -290,6 +291,13 @@ type System struct {
 	procs   []*Proc       // index 1..N
 	metrics *Metrics
 
+	// rec, when non-nil, records the run's decision trace (crashes here
+	// in the scheduler; oracle flips and protocol events at their
+	// sources). Owned by the run token like the rest of the simulation
+	// state; nil is the common no-tracing case and costs one predictable
+	// branch per instrumented site.
+	rec *trace.Recorder
+
 	// yield returns the run token to Run's goroutine: during the launch
 	// phase after each process's first park, and once at the end of the
 	// run. Run is its only receiver. reapAck is the separate return path
@@ -424,6 +432,25 @@ func (s *System) OnAdvance(fn func(Time)) {
 	}
 	s.onAdvance = append(s.onAdvance, fn)
 }
+
+// TraceTo attaches a decision-trace recorder: the scheduler records
+// crash events (and, at trace.Full, delivery and hold-release volume)
+// into it, and instrumented components reach it via Recorder /
+// Env.Trace. Tracing never alters the run: recording consumes no
+// random draws and schedules no ticks, so a traced run is
+// byte-identical to an untraced one in every report field. Must be
+// called before Run.
+func (s *System) TraceTo(rec *trace.Recorder) {
+	if s.ran {
+		panic("sim: TraceTo after Run")
+	}
+	s.rec = rec
+}
+
+// Recorder returns the attached decision-trace recorder, nil when the
+// run is untraced. All recorder methods are nil-safe, so callers may
+// record unconditionally.
+func (s *System) Recorder() *trace.Recorder { return s.rec }
 
 // WakeAt asks the scheduler to schedule a tick at time t even if nothing
 // else is due then. Stop predicates whose truth flips at a known future
@@ -782,6 +809,9 @@ func (s *System) tick(self *Proc) bool {
 			p := s.procs[i]
 			if s.pattern.CrashTime(p.id) == now {
 				s.killAt(p, self)
+				if s.rec != nil {
+					s.rec.Crash(int64(now), i)
+				}
 			}
 		}
 	}
@@ -909,6 +939,9 @@ func (s *System) deliverPhase(now Time) {
 			s.eligible = s.eligible[:0]
 			s.inflight.Add(-int64(n))
 			s.flushAll(now)
+			if s.rec != nil {
+				s.rec.Deliver(int64(now), n)
+			}
 			return
 		}
 		// Large ticks: the selection loop above would spend its time on
@@ -972,6 +1005,9 @@ func (s *System) deliverPhase(now Time) {
 		s.eligible = s.eligible[:0]
 		s.inflight.Add(-int64(n))
 		s.flushAll(now)
+		if s.rec != nil {
+			s.rec.Deliver(int64(now), n)
+		}
 		return
 	}
 	delivered := 0
@@ -997,6 +1033,9 @@ func (s *System) deliverPhase(now Time) {
 	}
 	s.inflight.Add(-int64(delivered))
 	s.flushBatches(now)
+	if s.rec != nil {
+		s.rec.Deliver(int64(now), delivered)
+	}
 }
 
 // flushBatches lands the inbox tails the selection loop appended this
@@ -1092,6 +1131,7 @@ func (s *System) route(now Time) {
 		s.held[e.notBefore] = append(s.held[e.notBefore], e)
 	}
 	s.arrivals = s.arrivals[:0]
+	released := 0
 	for len(s.heldTimes) > 0 && s.heldTimes[0] <= now {
 		t := s.heldTimes[0]
 		s.heldTimes = s.heldTimes[1:]
@@ -1099,8 +1139,12 @@ func (s *System) route(now Time) {
 		for i := range b {
 			s.eligible = append(s.eligible, b[i].msg)
 		}
+		released += len(b)
 		delete(s.held, t)
 		s.bucketPool = append(s.bucketPool, b[:0])
+	}
+	if s.rec != nil {
+		s.rec.HoldRelease(int64(now), released)
 	}
 }
 

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"fdgrid/internal/trace"
 )
 
 // Runner executes one cell and fills in its result. Implementations must
@@ -177,6 +179,10 @@ func Run(m Matrix, opt Options) (*Report, error) {
 }
 
 // runCell executes one cell, containing panics as errored results.
+// When the cell asks for tracing, the recorder is created here — owned
+// by the cell for its whole run, so its digest lands in the result even
+// if the runner panics mid-cell. The level was validated at Cells()
+// expansion (Replay validates its own), so a bad level reads as Off.
 func runCell(runner Runner, c *Cell) (res CellResult) {
 	res = CellResult{
 		Index:   c.Index,
@@ -187,12 +193,19 @@ func runCell(runner Runner, c *Cell) (res CellResult) {
 		Oracle:  c.Oracle.Name,
 		Verdict: Pass,
 	}
+	if lvl, err := trace.ParseLevel(c.TraceLevel); err == nil && lvl != trace.Off {
+		c.rec = trace.New(lvl)
+	}
 	start := time.Now()
 	defer func() {
 		res.WallNS = time.Since(start).Nanoseconds()
 		if r := recover(); r != nil {
 			res.Verdict = Errored
 			res.Detail = fmt.Sprintf("panic: %v", r)
+		}
+		if c.rec != nil {
+			res.TraceDigest = c.rec.Digest()
+			res.TraceEvents = c.rec.Len()
 		}
 	}()
 	runner(c, &res)

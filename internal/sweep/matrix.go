@@ -19,6 +19,7 @@ import (
 	"fdgrid/internal/core"
 	"fdgrid/internal/ids"
 	"fdgrid/internal/sim"
+	"fdgrid/internal/trace"
 )
 
 // Size is one system-size point: n processes, resilience bound t.
@@ -134,6 +135,15 @@ type Matrix struct {
 	// Params carries protocol-specific knobs (margins, pacing marks,
 	// instance counts, …), passed to every cell.
 	Params map[string]int64 `json:"params,omitempty"`
+
+	// TraceLevel selects decision tracing for every cell: "" or "off"
+	// (the default — no recorder is attached and reports are
+	// byte-identical to pre-tracing goldens), "decisions" (crashes,
+	// oracle output changes, round commits, decides, wheel moves) or
+	// "full" (adds per-tick delivery and hold-release volume). Traced
+	// cells report trace_digest/trace_events; tracing never changes a
+	// verdict or any other report field (see internal/trace).
+	TraceLevel string `json:"trace_level,omitempty"`
 }
 
 // Cell is one concrete point of the matrix cross product.
@@ -154,6 +164,14 @@ type Cell struct {
 	MaxSteps  sim.Time         `json:"max_steps"`
 	Bandwidth int              `json:"bandwidth,omitempty"`
 	Params    map[string]int64 `json:"params,omitempty"`
+
+	// TraceLevel is the matrix's TraceLevel, copied per cell so a single
+	// cell can be re-run traced (see Replay).
+	TraceLevel string `json:"trace_level,omitempty"`
+
+	// rec is the cell's decision-trace recorder, created by runCell when
+	// TraceLevel asks for one and attached to the cell's System.
+	rec *trace.Recorder
 }
 
 // Param returns a protocol knob with a default.
@@ -198,13 +216,21 @@ func (c *Cell) Config() (sim.Config, error) {
 	}, nil
 }
 
-// System builds the cell's isolated simulator instance.
+// System builds the cell's isolated simulator instance, with the
+// cell's trace recorder (if any) attached.
 func (c *Cell) System() (*sim.System, error) {
 	cfg, err := c.Config()
 	if err != nil {
 		return nil, err
 	}
-	return sim.New(cfg)
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if c.rec != nil {
+		sys.TraceTo(c.rec)
+	}
+	return sys, nil
 }
 
 // patternsFor resolves the matrix's pattern dimension for one size: the
@@ -272,6 +298,9 @@ func (m *Matrix) Cells() ([]Cell, error) {
 	if m.MaxSteps <= 0 {
 		return nil, fmt.Errorf("sweep: matrix %q has MaxSteps=%d", m.Name, m.MaxSteps)
 	}
+	if _, err := trace.ParseLevel(m.TraceLevel); err != nil {
+		return nil, fmt.Errorf("sweep: matrix %q: %w", m.Name, err)
+	}
 	combos := m.Combos
 	if len(combos) == 0 {
 		combos = []Combo{{}}
@@ -291,18 +320,19 @@ func (m *Matrix) Cells() ([]Cell, error) {
 				for _, oracle := range oracles {
 					for _, seed := range m.Seeds {
 						c := Cell{
-							Index:     len(cells),
-							Matrix:    m.Name,
-							Protocol:  m.Protocol,
-							Seed:      seed,
-							Size:      size,
-							Pattern:   pat,
-							Combo:     combo,
-							Oracle:    oracle,
-							GST:       m.GST,
-							MaxSteps:  m.MaxSteps,
-							Bandwidth: m.Bandwidth,
-							Params:    m.Params,
+							Index:      len(cells),
+							Matrix:     m.Name,
+							Protocol:   m.Protocol,
+							Seed:       seed,
+							Size:       size,
+							Pattern:    pat,
+							Combo:      combo,
+							Oracle:     oracle,
+							GST:        m.GST,
+							MaxSteps:   m.MaxSteps,
+							Bandwidth:  m.Bandwidth,
+							Params:     m.Params,
+							TraceLevel: m.TraceLevel,
 						}
 						if _, err := c.Config(); err != nil {
 							return nil, err

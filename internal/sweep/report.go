@@ -67,6 +67,16 @@ type CellResult struct {
 	// ticks, traffic at a time mark, probe times, …).
 	Measures map[string]int64 `json:"measures,omitempty"`
 
+	// TraceDigest fingerprints the cell's decision trace (first 128
+	// bits of the SHA-256 of its canonical JSON) and TraceEvents counts
+	// its events; both appear only when the matrix sets TraceLevel, so
+	// untraced reports keep their pre-tracing bytes. Divergence is the
+	// trace.Diff summary against a baseline run — set only on the
+	// perturbed result of a counterfactual Replay, never by a sweep.
+	TraceDigest string `json:"trace_digest,omitempty"`
+	TraceEvents int    `json:"trace_events,omitempty"`
+	Divergence  string `json:"divergence,omitempty"`
+
 	// WallNS is the cell's wall-clock cost. Not part of the canonical
 	// report: it varies run to run.
 	WallNS int64 `json:"-"`

@@ -363,6 +363,7 @@ func runKSetOmega(c *Cell, res *CellResult) {
 	if !ok {
 		return
 	}
+	fd.TraceLeader(sys, oracle, "oracle")
 	out := agreement.NewOutcome()
 	for p := 1; p <= c.Size.N; p++ {
 		id := ids.ProcID(p)
@@ -398,6 +399,7 @@ func runKSetSeq(c *Cell, res *CellResult) {
 	if !ok {
 		return
 	}
+	fd.TraceLeader(sys, oracle, "oracle")
 	instances := int(c.Param("instances", 4))
 	outs := make([]*agreement.Outcome, instances)
 	for j := range outs {
@@ -436,6 +438,7 @@ func runConsensusDS(c *Cell, res *CellResult) {
 	if !ok {
 		return
 	}
+	fd.TraceSuspector(sys, susp, "oracle")
 	out := agreement.NewOutcome()
 	for p := 1; p <= c.Size.N; p++ {
 		id := ids.ProcID(p)
@@ -545,7 +548,9 @@ func runTwoWheels(c *Cell, res *CellResult) {
 			quer = fd.NewEvtPhi(sys, y)
 		}
 	}
+	fd.TraceSuspector(sys, susp, "oracle-s")
 	emu, _ := reduction.SpawnTwoWheels(sys, susp, quer, x, y)
+	fd.TraceLeader(sys, emu, "emu")
 	trace := fd.WatchLeaderSparse(sys, emu)
 	// The emulated Trusted consults the querier live; make sure every
 	// tick it can change at is scheduled, so the sparse trace is exact.
@@ -596,7 +601,9 @@ func runSingleWheel(c *Cell, res *CellResult) {
 	if !ok {
 		return
 	}
+	fd.TraceSuspector(sys, susp, "oracle")
 	emu := reduction.SpawnSingleWheel(sys, susp)
+	fd.TraceLeader(sys, emu, "emu")
 	trace := fd.WatchLeaderSparse(sys, emu)
 	var stop func() bool
 	if sf := sim.Time(c.Param("stable_for", 0)); sf > 0 {
@@ -623,6 +630,7 @@ func runLowerWheel(c *Cell, res *CellResult) {
 	if !ok {
 		return
 	}
+	fd.TraceSuspector(sys, susp, "oracle")
 	reprs := reduction.SpawnLowerWheel(sys, susp, x)
 	wire := rbcast.WireTag(sim.Intern("wheel.xmove"))
 	mark := sim.Time(c.Param("mark", 0))
@@ -680,6 +688,7 @@ func runPsiOmega(c *Cell, res *CellResult) {
 	}
 	psi := fd.WrapPsi(phi)
 	po := reduction.NewPsiOmega(c.Size.N, c.Size.T, y, z, psi)
+	fd.TraceLeader(sys, po, "emu")
 	trace := fd.WatchLeader(sys, po)
 	rep := sys.Run(nil)
 	recordRun(res, rep)
@@ -724,7 +733,9 @@ func runAddS(c *Cell, res *CellResult) {
 			susp, quer = fd.NewEvtS(sys, x), fd.NewEvtPhi(sys, y)
 		}
 	}
+	fd.TraceSuspector(sys, susp, "oracle-s")
 	emu := reduction.SpawnAddS(sys, susp, quer, c.Combo.Name)
+	fd.TraceSuspector(sys, emu, "emu")
 	trace := fd.WatchSuspectorSparse(sys, emu)
 	margin := sim.Time(c.Param("margin", 20_000))
 	// Stop once every correct process's output has rested well past the

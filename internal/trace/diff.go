@@ -1,0 +1,61 @@
+package trace
+
+import "strconv"
+
+// Divergence locates the minimal difference between two traces: the
+// length of the shared prefix and the first event (on each side, when
+// present) that breaks it.
+type Divergence struct {
+	// Prefix is the number of leading events the traces share.
+	Prefix int
+	// ALen and BLen are the full trace lengths.
+	ALen, BLen int
+	// A and B point at the first differing event of each trace; nil
+	// when that trace ended at the shared prefix.
+	A, B *Event
+	// Summary is a one-line human-readable account of the divergence.
+	Summary string
+}
+
+// Diff compares two traces and returns the minimal divergence point,
+// or nil when they are identical. Events compare with ==, so two
+// traces diverge exactly where their first recorded difference lies —
+// which, for a deterministic replay under a single perturbation, is
+// the first observable consequence of that perturbation.
+func Diff(a, b []Event) *Divergence {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	p := 0
+	for p < n && a[p] == b[p] {
+		p++
+	}
+	if p == len(a) && p == len(b) {
+		return nil
+	}
+	d := &Divergence{Prefix: p, ALen: len(a), BLen: len(b)}
+	if p < len(a) {
+		d.A = &a[p]
+	}
+	if p < len(b) {
+		d.B = &b[p]
+	}
+	d.Summary = d.summarize()
+	return d
+}
+
+// summarize renders the one-line account stored in Summary.
+func (d *Divergence) summarize() string {
+	shared := "after " + strconv.Itoa(d.Prefix) + " shared events"
+	switch {
+	case d.A != nil && d.B != nil:
+		return "diverge " + shared + ": a=(" + d.A.String() + ") vs b=(" + d.B.String() + ")"
+	case d.B != nil:
+		return "a ends " + shared + "; b continues with (" + d.B.String() + ") +" +
+			strconv.Itoa(d.BLen-d.Prefix-1) + " more"
+	default:
+		return "b ends " + shared + "; a continues with (" + d.A.String() + ") +" +
+			strconv.Itoa(d.ALen-d.Prefix-1) + " more"
+	}
+}

@@ -1,0 +1,363 @@
+// Package trace records the decision path of one simulated cell —
+// crashes, oracle output changes, protocol round commits, decide
+// events, wheel movements and (at full level) delivery volumes — as a
+// flat, append-only event log with a canonical byte representation.
+//
+// The recorder exists to spend the simulator's determinism on
+// explanations: because a cell replays byte-identically from its
+// seed, two traces of the same cell are byte-identical, and a trace
+// of a minimally perturbed cell diverges at exactly the first event
+// the perturbation caused. Diff finds that event. The sweep engine
+// surfaces traces per cell behind sweep.Matrix.TraceLevel; with
+// tracing off (the default) no recorder is attached and reports stay
+// byte-identical to the untraced goldens.
+//
+// Recording levels nest: Off records nothing, Decisions records the
+// protocol-meaningful events (crash, leader, suspect, round, decide,
+// wheel), Full adds per-tick delivery and hold-release volume. Every
+// Recorder method is safe on a nil receiver and gates on its level
+// internally, so instrumentation sites stay one unconditional line.
+//
+// The package depends only on internal/ids and the standard library;
+// simulated times cross the boundary as plain int64 ticks so sim can
+// depend on trace without a cycle.
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+
+	"fdgrid/internal/ids"
+)
+
+// Level selects how much of a run the recorder keeps.
+type Level uint8
+
+const (
+	// Off records nothing; a nil recorder behaves as Off.
+	Off Level = iota
+	// Decisions records protocol-meaningful events: crashes, oracle
+	// output changes, round commits, decide events, wheel movements.
+	Decisions
+	// Full adds per-tick delivery counts and hold releases on top of
+	// Decisions.
+	Full
+)
+
+// ParseLevel maps a matrix-level string to a Level. The empty string
+// and "off" both mean Off, matching the TraceLevel zero value.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "", "off":
+		return Off, nil
+	case "decisions":
+		return Decisions, nil
+	case "full":
+		return Full, nil
+	}
+	return Off, fmt.Errorf("trace: unknown level %q (want off, decisions or full)", s)
+}
+
+// String returns the canonical spelling accepted by ParseLevel.
+func (l Level) String() string {
+	switch l {
+	case Decisions:
+		return "decisions"
+	case Full:
+		return "full"
+	default:
+		return "off"
+	}
+}
+
+// Kind discriminates trace events.
+type Kind uint8
+
+const (
+	// KindCrash marks a process crashing at its scheduled tick.
+	KindCrash Kind = iota
+	// KindLeader marks a change in an oracle's trusted set as seen by
+	// one process (leader oracles report singleton sets).
+	KindLeader
+	// KindSuspect marks a change in a suspector oracle's suspect set
+	// as seen by one process.
+	KindSuspect
+	// KindRound marks a process committing to a protocol round; Set
+	// carries the candidate set the round starts from.
+	KindRound
+	// KindDecide marks a process deciding; Value carries the decided
+	// value and Round the deciding round.
+	KindDecide
+	// KindWheel marks a wheel protocol consuming moves; Src names the
+	// wheel ("lower"/"upper"), Round counts cumulative moves, Set and
+	// Value carry the resulting position.
+	KindWheel
+	// KindDeliver records how many messages a tick delivered (Full
+	// level only); Value carries the count.
+	KindDeliver
+	// KindHoldRelease records how many held messages a tick released
+	// back into the network (Full level only); Value carries the count.
+	KindHoldRelease
+)
+
+// kindInfo drives canonical rendering: the event name plus which
+// fields that kind renders (a fixed mask, not presence-based, so the
+// byte form of an event is a function of its kind alone).
+var kindInfo = [...]struct {
+	name   string
+	fields uint8
+}{
+	KindCrash:       {"crash", fProc},
+	KindLeader:      {"leader", fProc | fSrc | fSet},
+	KindSuspect:     {"suspect", fProc | fSrc | fSet},
+	KindRound:       {"round", fProc | fRound | fSet},
+	KindDecide:      {"decide", fProc | fRound | fValue},
+	KindWheel:       {"wheel", fProc | fRound | fValue | fSrc | fSet},
+	KindDeliver:     {"deliver", fValue},
+	KindHoldRelease: {"hold_release", fValue},
+}
+
+const (
+	fProc uint8 = 1 << iota
+	fRound
+	fValue
+	fSrc
+	fSet
+)
+
+// String returns the event name used in the canonical JSON form.
+func (k Kind) String() string {
+	if int(k) < len(kindInfo) {
+		return kindInfo[k].name
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recorded step of a cell's decision path. Which fields
+// are meaningful depends on Kind (see the Kind constants); the
+// canonical rendering includes exactly the fields the kind declares,
+// so events compare with ==.
+type Event struct {
+	// At is the simulated tick the event happened on.
+	At int64
+	// Kind discriminates the event.
+	Kind Kind
+	// Proc is the process the event belongs to (0 when global).
+	Proc int32
+	// Round is a round number or cumulative move count.
+	Round int32
+	// Value is a decided value, position leader, or volume count.
+	Value int64
+	// Src labels the producing component ("oracle", "emu", "lower", …).
+	Src string
+	// Set is the candidate/trusted/suspect set the event observed.
+	Set ids.Set
+}
+
+// append writes the event's canonical JSON object to b.
+func (e *Event) append(b []byte) []byte {
+	info := kindInfo[e.Kind]
+	b = append(b, `{"at":`...)
+	b = strconv.AppendInt(b, e.At, 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, info.name...)
+	b = append(b, '"')
+	if info.fields&fProc != 0 {
+		b = append(b, `,"proc":`...)
+		b = strconv.AppendInt(b, int64(e.Proc), 10)
+	}
+	if info.fields&fRound != 0 {
+		b = append(b, `,"round":`...)
+		b = strconv.AppendInt(b, int64(e.Round), 10)
+	}
+	if info.fields&fValue != 0 {
+		b = append(b, `,"value":`...)
+		b = strconv.AppendInt(b, e.Value, 10)
+	}
+	if info.fields&fSrc != 0 {
+		b = append(b, `,"src":"`...)
+		b = append(b, e.Src...)
+		b = append(b, '"')
+	}
+	if info.fields&fSet != 0 {
+		b = append(b, `,"set":[`...)
+		first := true
+		e.Set.ForEach(func(p ids.ProcID) bool {
+			if !first {
+				b = append(b, ',')
+			}
+			first = false
+			b = strconv.AppendInt(b, int64(p), 10)
+			return true
+		})
+		b = append(b, ']')
+	}
+	return append(b, '}')
+}
+
+// String renders the event compactly for divergence summaries, e.g.
+// "t=812 decide p3 r2 v=103" or "t=40 leader[oracle] p1 {2}".
+func (e *Event) String() string {
+	info := kindInfo[e.Kind]
+	s := "t=" + strconv.FormatInt(e.At, 10) + " " + info.name
+	if info.fields&fSrc != 0 && e.Src != "" {
+		s += "[" + e.Src + "]"
+	}
+	if info.fields&fProc != 0 {
+		s += " p" + strconv.FormatInt(int64(e.Proc), 10)
+	}
+	if info.fields&fRound != 0 {
+		s += " r" + strconv.FormatInt(int64(e.Round), 10)
+	}
+	if info.fields&fValue != 0 {
+		s += " v=" + strconv.FormatInt(e.Value, 10)
+	}
+	if info.fields&fSet != 0 {
+		s += " " + e.Set.String()
+	}
+	return s
+}
+
+// Recorder accumulates the events of one run. The zero value and the
+// nil pointer both record nothing; every method is run-token-owned
+// like the simulation state it observes (no locking).
+type Recorder struct {
+	level  Level
+	events []Event
+}
+
+// New returns a recorder keeping events at the given level. New(Off)
+// returns nil, the canonical "not tracing" recorder.
+func New(level Level) *Recorder {
+	if level == Off {
+		return nil
+	}
+	return &Recorder{level: level, events: make([]Event, 0, 256)}
+}
+
+// On reports whether the recorder keeps events at the given level;
+// false on a nil recorder. Samplers that cost setup work (per-process
+// snapshot arrays) gate on it before installing themselves.
+func (r *Recorder) On(level Level) bool {
+	return r != nil && r.level >= level
+}
+
+// Level returns the recording level (Off for a nil recorder).
+func (r *Recorder) Level() Level {
+	if r == nil {
+		return Off
+	}
+	return r.level
+}
+
+// Crash records process p crashing at tick at.
+func (r *Recorder) Crash(at int64, p int) {
+	if !r.On(Decisions) {
+		return
+	}
+	r.events = append(r.events, Event{At: at, Kind: KindCrash, Proc: int32(p)})
+}
+
+// SetChange records an oracle output change: kind is KindLeader or
+// KindSuspect, src labels the oracle role, set is the new output seen
+// by process p.
+func (r *Recorder) SetChange(kind Kind, at int64, p int, src string, set ids.Set) {
+	if !r.On(Decisions) {
+		return
+	}
+	r.events = append(r.events, Event{At: at, Kind: kind, Proc: int32(p), Src: src, Set: set})
+}
+
+// Round records process p committing to round round with candidate
+// set set.
+func (r *Recorder) Round(at int64, p, round int, set ids.Set) {
+	if !r.On(Decisions) {
+		return
+	}
+	r.events = append(r.events, Event{At: at, Kind: KindRound, Proc: int32(p), Round: int32(round), Set: set})
+}
+
+// Decide records process p deciding value v in round round.
+func (r *Recorder) Decide(at int64, p, round int, v int64) {
+	if !r.On(Decisions) {
+		return
+	}
+	r.events = append(r.events, Event{At: at, Kind: KindDecide, Proc: int32(p), Round: int32(round), Value: v})
+}
+
+// Wheel records wheel src at process p having consumed moves moves in
+// total, now positioned at (set, leader).
+func (r *Recorder) Wheel(at int64, p int, src string, leader int64, set ids.Set, moves int) {
+	if !r.On(Decisions) {
+		return
+	}
+	r.events = append(r.events, Event{At: at, Kind: KindWheel, Proc: int32(p), Round: int32(moves), Value: leader, Src: src, Set: set})
+}
+
+// Deliver records a tick delivering count messages (Full level only).
+func (r *Recorder) Deliver(at int64, count int) {
+	if !r.On(Full) || count == 0 {
+		return
+	}
+	r.events = append(r.events, Event{At: at, Kind: KindDeliver, Value: int64(count)})
+}
+
+// HoldRelease records a tick releasing count held messages back into
+// the network (Full level only).
+func (r *Recorder) HoldRelease(at int64, count int) {
+	if !r.On(Full) || count == 0 {
+		return
+	}
+	r.events = append(r.events, Event{At: at, Kind: KindHoldRelease, Value: int64(count)})
+}
+
+// Len returns the number of recorded events (0 on nil).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Events returns the recorded event log. The slice is the recorder's
+// own backing store: read it, don't mutate it. Nil recorders return
+// nil.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// CanonicalJSON renders the event log in its canonical byte form: a
+// JSON array with one fixed-field-order object per line. The bytes
+// are a pure function of the recorded events, so equal traces render
+// equal bytes. Nil recorders render an empty array.
+func (r *Recorder) CanonicalJSON() []byte {
+	if r == nil || len(r.events) == 0 {
+		return []byte("[]\n")
+	}
+	// Estimate ~48 bytes/event to keep growth amortized.
+	b := make([]byte, 0, 16+48*len(r.events))
+	b = append(b, '[', '\n')
+	for i := range r.events {
+		b = append(b, ' ', ' ')
+		b = r.events[i].append(b)
+		if i < len(r.events)-1 {
+			b = append(b, ',')
+		}
+		b = append(b, '\n')
+	}
+	return append(b, ']', '\n')
+}
+
+// Digest fingerprints the canonical JSON form: the first 128 bits of
+// its SHA-256, hex-encoded. Two cells with equal digests ran the same
+// decision path; a perturbed replay that changes anything traced
+// changes the digest.
+func (r *Recorder) Digest() string {
+	sum := sha256.Sum256(r.CanonicalJSON())
+	return hex.EncodeToString(sum[:16])
+}

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"fdgrid/internal/ids"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Level
+		ok   bool
+	}{
+		{"", Off, true},
+		{"off", Off, true},
+		{"decisions", Decisions, true},
+		{"full", Full, true},
+		{"Full", Off, false},
+		{"verbose", Off, false},
+	}
+	for _, c := range cases {
+		got, err := ParseLevel(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	for _, l := range []Level{Off, Decisions, Full} {
+		back, err := ParseLevel(l.String())
+		if err != nil || back != l {
+			t.Errorf("round trip %v -> %q -> %v, %v", l, l.String(), back, err)
+		}
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r := New(Off); r != nil {
+		t.Fatalf("New(Off) = %v, want nil", r)
+	}
+	r.Crash(1, 2)
+	r.SetChange(KindLeader, 1, 2, "oracle", ids.NewSet(3))
+	r.Round(1, 2, 3, ids.NewSet(1))
+	r.Decide(1, 2, 3, 4)
+	r.Wheel(1, 2, "lower", 3, ids.NewSet(1), 4)
+	r.Deliver(1, 5)
+	r.HoldRelease(1, 5)
+	if r.Len() != 0 || r.Events() != nil || r.On(Decisions) || r.Level() != Off {
+		t.Fatal("nil recorder must observe nothing")
+	}
+	if got := string(r.CanonicalJSON()); got != "[]\n" {
+		t.Fatalf("nil CanonicalJSON = %q", got)
+	}
+	if r.Digest() == "" {
+		t.Fatal("nil recorder must still digest its (empty) canonical form")
+	}
+}
+
+func TestLevelGating(t *testing.T) {
+	r := New(Decisions)
+	r.Decide(10, 1, 2, 103)
+	r.Deliver(10, 7)     // Full-only: dropped
+	r.HoldRelease(11, 3) // Full-only: dropped
+	if r.Len() != 1 {
+		t.Fatalf("Decisions recorder kept %d events, want 1", r.Len())
+	}
+	f := New(Full)
+	f.Decide(10, 1, 2, 103)
+	f.Deliver(10, 7)
+	f.Deliver(11, 0) // zero-volume ticks are not events
+	f.HoldRelease(11, 3)
+	if f.Len() != 3 {
+		t.Fatalf("Full recorder kept %d events, want 3", f.Len())
+	}
+}
+
+func TestCanonicalJSONIsValidAndStable(t *testing.T) {
+	build := func() *Recorder {
+		r := New(Full)
+		r.Crash(5, 4)
+		r.SetChange(KindLeader, 6, 1, "oracle", ids.NewSet(2))
+		r.SetChange(KindSuspect, 6, 2, "oracle-s", ids.NewSet(3, 4))
+		r.Round(7, 1, 1, ids.NewSet(1, 2))
+		r.Wheel(8, 2, "lower", 3, ids.NewSet(3, 5), 2)
+		r.Deliver(8, 12)
+		r.HoldRelease(9, 2)
+		r.Decide(9, 1, 1, 101)
+		return r
+	}
+	a, b := build().CanonicalJSON(), build().CanonicalJSON()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical recordings rendered different bytes")
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(a, &parsed); err != nil {
+		t.Fatalf("canonical form is not valid JSON: %v\n%s", err, a)
+	}
+	if len(parsed) != 8 {
+		t.Fatalf("parsed %d events, want 8", len(parsed))
+	}
+	if parsed[0]["kind"] != "crash" || parsed[0]["proc"] != float64(4) {
+		t.Errorf("event 0 = %v", parsed[0])
+	}
+	if parsed[7]["kind"] != "decide" || parsed[7]["value"] != float64(101) {
+		t.Errorf("event 7 = %v", parsed[7])
+	}
+	if build().Digest() != build().Digest() {
+		t.Fatal("digest not stable")
+	}
+	if len(build().Digest()) != 32 {
+		t.Fatalf("digest length %d, want 32 hex chars", len(build().Digest()))
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 812, Kind: KindDecide, Proc: 3, Round: 2, Value: 103}
+	if got := e.String(); got != "t=812 decide p3 r2 v=103" {
+		t.Errorf("decide String() = %q", got)
+	}
+	l := Event{At: 40, Kind: KindLeader, Proc: 1, Src: "oracle", Set: ids.NewSet(2)}
+	if got := l.String(); got != "t=40 leader[oracle] p1 {2}" {
+		t.Errorf("leader String() = %q", got)
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := []Event{{At: 1, Kind: KindCrash, Proc: 2}, {At: 3, Kind: KindDecide, Proc: 1, Round: 1, Value: 7}}
+	b := append([]Event(nil), a...)
+	if d := Diff(a, b); d != nil {
+		t.Fatalf("identical traces diverged: %+v", d)
+	}
+	if d := Diff(nil, nil); d != nil {
+		t.Fatalf("empty traces diverged: %+v", d)
+	}
+}
+
+func TestDiffPrefixDivergent(t *testing.T) {
+	a := []Event{
+		{At: 1, Kind: KindCrash, Proc: 2},
+		{At: 5, Kind: KindDecide, Proc: 1, Round: 1, Value: 7},
+	}
+	b := []Event{
+		{At: 1, Kind: KindCrash, Proc: 2},
+		{At: 9, Kind: KindDecide, Proc: 1, Round: 2, Value: 8},
+		{At: 9, Kind: KindDecide, Proc: 3, Round: 2, Value: 8},
+	}
+	d := Diff(a, b)
+	if d == nil || d.Prefix != 1 || d.ALen != 2 || d.BLen != 3 {
+		t.Fatalf("Diff = %+v", d)
+	}
+	if d.A == nil || d.B == nil || d.A.At != 5 || d.B.At != 9 {
+		t.Fatalf("divergence events = %v / %v", d.A, d.B)
+	}
+	if !strings.Contains(d.Summary, "after 1 shared events") ||
+		!strings.Contains(d.Summary, "t=5 decide p1 r1 v=7") {
+		t.Errorf("Summary = %q", d.Summary)
+	}
+}
+
+func TestDiffLengthDivergent(t *testing.T) {
+	a := []Event{{At: 1, Kind: KindCrash, Proc: 2}}
+	b := []Event{
+		{At: 1, Kind: KindCrash, Proc: 2},
+		{At: 4, Kind: KindRound, Proc: 1, Round: 1, Set: ids.NewSet(1, 3)},
+		{At: 6, Kind: KindDecide, Proc: 1, Round: 1, Value: 3},
+	}
+	d := Diff(a, b)
+	if d == nil || d.Prefix != 1 || d.A != nil || d.B == nil {
+		t.Fatalf("Diff = %+v", d)
+	}
+	if !strings.Contains(d.Summary, "a ends after 1 shared events") ||
+		!strings.Contains(d.Summary, "+1 more") {
+		t.Errorf("Summary = %q", d.Summary)
+	}
+	// Symmetric case: a continues past b.
+	d = Diff(b, a)
+	if d == nil || d.B != nil || d.A == nil || !strings.Contains(d.Summary, "b ends") {
+		t.Fatalf("reverse Diff = %+v", d)
+	}
+}
