@@ -1,6 +1,7 @@
 # fdgrid — build, verify and smoke-test the reproduction.
 #
 #   make ci          vet + build + race tests + sweep smoke + examples (the full gate)
+#   make lint        detlint: machine-check the determinism contracts
 #   make test        plain unit tests
 #   make smoke       short parallel sweep through cmd/experiments
 #   make examples    go run every runnable example (drift gate)
@@ -13,13 +14,22 @@
 GO ?= go
 BENCH_OUT ?= BENCH_PR7.json
 
-.PHONY: ci vet build test race smoke examples bench bench-smoke bench-gate clean
+.PHONY: ci vet lint build test race smoke examples bench bench-smoke bench-gate clean
 
 ci: vet build race smoke examples
 
-# vet also enforces gofmt: a formatting diff fails the target with the
-# offending files listed.
-vet:
+# detlint machine-checks the determinism and run-token ownership
+# contracts (docs/ARCHITECTURE.md, "Enforced invariants"): wall-clock
+# reads, global math/rand draws, map-order leaks into ordered output,
+# locks/goroutines in run-token-owned packages, non-canonical trace
+# rendering. Escapes are //detlint:allow comments with audited reasons.
+lint:
+	$(GO) run ./cmd/detlint ./...
+
+# vet also enforces gofmt (a formatting diff fails the target with the
+# offending files listed) and runs detlint, so the local static gate
+# matches the CI vet job.
+vet: lint
 	$(GO) vet ./...
 	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
@@ -30,8 +40,10 @@ build:
 test:
 	$(GO) test ./...
 
+# -shuffle randomizes test order so inter-test state dependence breaks
+# loudly here instead of lurking until a refactor reorders a file.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # A short end-to-end sweep: every experiment matrix runs (the full
 # matrix takes a couple of seconds), the rendered report and canonical

@@ -1,0 +1,49 @@
+// Command detlint machine-checks the determinism and run-token
+// ownership contracts of this repository (see the "Enforced
+// invariants" section of docs/ARCHITECTURE.md): no wall-clock reads,
+// no global math/rand draws, no map-iteration order leaking into
+// ordered output, no locks or goroutines inside run-token-owned
+// packages, no reflection-shaped formatting in the canonical trace
+// renderers. Violations are suppressed only by an explicit, audited
+// escape:
+//
+//	//detlint:allow <rule> -- <reason>
+//
+// Usage:
+//
+//	detlint [-C dir] [packages]
+//
+// Packages default to ./... . Exit status 0 means no diagnostics,
+// 1 means violations were reported, 2 means the load itself failed.
+// `make vet` (and through it `make ci` and the CI vet job) runs
+// `detlint ./...` so a new violation fails the gate, not a golden
+// diff three PRs later.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fdgrid/internal/detlint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "directory to resolve package patterns in")
+	flag.Parse()
+	patterns := flag.Args()
+
+	pkgs, err := detlint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := detlint.Check(pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -31,8 +31,13 @@ func main() {
 	}
 	sys.Run(out.AllDecided(sys.Pattern().Correct()))
 
-	for p, d := range out.Decisions() {
-		fmt.Printf("process %v decided %d (round %d, vtick %d)\n", p, d.Value, d.Round, d.At)
+	// Iterate in process order: ranging the decisions map directly would
+	// print in Go's randomized map order, a different output every run.
+	decisions := out.Decisions()
+	for p := 1; p <= cfg.N; p++ {
+		if d, ok := decisions[fdgrid.ProcID(p)]; ok {
+			fmt.Printf("process %v decided %d (round %d, vtick %d)\n", fdgrid.ProcID(p), d.Value, d.Round, d.At)
+		}
 	}
 	if err := out.Check(sys.Pattern(), 2); err != nil {
 		fmt.Println("FAILED:", err)

@@ -9,7 +9,7 @@ package agreement
 
 import (
 	"fmt"
-	"sync"
+	"sort"
 
 	"fdgrid/internal/ids"
 	"fdgrid/internal/sim"
@@ -26,10 +26,13 @@ type Decision struct {
 }
 
 // Outcome collects proposals and decisions of one agreement run. It is
-// safe for concurrent use (processes decide on their own goroutines; stop
-// predicates and checkers read from others).
+// run-token state, like everything a run touches: processes decide on
+// their own goroutines but only while holding the run token, stop
+// predicates read it inside tick phases, and checkers run after
+// sim.Run has joined every goroutine — so the channel handoffs provide
+// every needed happens-before edge and no lock is involved (verified,
+// like the rest of the ownership contract, by the -race CI job).
 type Outcome struct {
-	mu        sync.Mutex
 	proposals map[ids.ProcID]Value
 	decisions map[ids.ProcID]Decision
 }
@@ -44,8 +47,6 @@ func NewOutcome() *Outcome {
 
 // Propose records p's proposal. Each process proposes exactly once.
 func (o *Outcome) Propose(p ids.ProcID, v Value) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
 	if old, dup := o.proposals[p]; dup {
 		panic(fmt.Sprintf("agreement: %v proposed twice (%d then %d)", p, old, v))
 	}
@@ -55,8 +56,6 @@ func (o *Outcome) Propose(p ids.ProcID, v Value) {
 // Decide records p's decision. A second, different decision by the same
 // process panics: it would be an integrity bug in the protocol.
 func (o *Outcome) Decide(p ids.ProcID, d Decision) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
 	if old, dup := o.decisions[p]; dup {
 		if old.Value != d.Value {
 			panic(fmt.Sprintf("agreement: %v decided twice with different values (%d then %d)", p, old.Value, d.Value))
@@ -68,8 +67,6 @@ func (o *Outcome) Decide(p ids.ProcID, d Decision) {
 
 // Decisions returns a copy of the recorded decisions.
 func (o *Outcome) Decisions() map[ids.ProcID]Decision {
-	o.mu.Lock()
-	defer o.mu.Unlock()
 	out := make(map[ids.ProcID]Decision, len(o.decisions))
 	for k, v := range o.decisions {
 		out[k] = v
@@ -79,8 +76,6 @@ func (o *Outcome) Decisions() map[ids.ProcID]Decision {
 
 // DistinctValues returns the set of distinct decided values, sorted.
 func (o *Outcome) DistinctValues() []Value {
-	o.mu.Lock()
-	defer o.mu.Unlock()
 	seen := make(map[Value]bool)
 	for _, d := range o.decisions {
 		seen[d.Value] = true
@@ -89,18 +84,12 @@ func (o *Outcome) DistinctValues() []Value {
 	for v := range seen {
 		vals = append(vals, v)
 	}
-	for i := 1; i < len(vals); i++ {
-		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
-			vals[j], vals[j-1] = vals[j-1], vals[j]
-		}
-	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
 	return vals
 }
 
 // MaxRound returns the largest decision round (0 if none).
 func (o *Outcome) MaxRound() int {
-	o.mu.Lock()
-	defer o.mu.Unlock()
 	max := 0
 	for _, d := range o.decisions {
 		if d.Round > max {
@@ -114,8 +103,6 @@ func (o *Outcome) MaxRound() int {
 // correct has decided.
 func (o *Outcome) AllDecided(correct ids.Set) func() bool {
 	return func() bool {
-		o.mu.Lock()
-		defer o.mu.Unlock()
 		done := true
 		correct.ForEach(func(p ids.ProcID) bool {
 			if _, ok := o.decisions[p]; !ok {
@@ -131,9 +118,6 @@ func (o *Outcome) AllDecided(correct ids.Set) func() bool {
 // Check verifies Validity, k-Agreement and Termination against the run's
 // failure pattern.
 func (o *Outcome) Check(pat *sim.Pattern, k int) error {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-
 	proposed := make(map[Value]bool, len(o.proposals))
 	for _, v := range o.proposals {
 		proposed[v] = true

@@ -1,0 +1,72 @@
+package detlint
+
+import (
+	"strings"
+)
+
+// allowPrefix introduces an escape-hatch comment:
+//
+//	//detlint:allow <rule> -- <reason>
+//
+// An allow suppresses diagnostics of <rule> on its own line (trailing
+// comment) or on the line directly below (comment-above style). The
+// reason is mandatory and the rule must be registered — a suppression
+// that cannot say what it suppresses or why is itself a diagnostic,
+// so every escape in the tree stays auditable.
+const allowPrefix = "//detlint:allow"
+
+type allow struct {
+	rule string
+	line int
+}
+
+// collectAllows parses every allow comment in the package and returns
+// the well-formed ones plus diagnostics for the malformed ones.
+func collectAllows(p *Package) (allows []allow, bad []Diagnostic) {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				body := strings.TrimPrefix(c.Text, allowPrefix)
+				rule, reason, ok := strings.Cut(body, "--")
+				rule = strings.TrimSpace(rule)
+				switch {
+				case !ok || strings.TrimSpace(reason) == "":
+					bad = append(bad, p.diag("allow", c,
+						"allow comment needs a reason: //detlint:allow <rule> -- <reason>"))
+					continue
+				case registered(rule) == nil:
+					bad = append(bad, p.diag("allow", c,
+						"allow comment names unknown rule %q (have %s)", rule, ruleNames()))
+					continue
+				}
+				allows = append(allows, allow{rule: rule, line: p.Fset.Position(c.Pos()).Line})
+			}
+		}
+	}
+	return allows, bad
+}
+
+// filterAllowed drops diagnostics covered by a well-formed allow
+// comment and appends the diagnostics for malformed allows (which are
+// not themselves suppressible — an escape hatch that could wave
+// through its own misuse would not be worth auditing).
+func filterAllowed(p *Package, raw []Diagnostic) []Diagnostic {
+	allows, bad := collectAllows(p)
+	var out []Diagnostic
+	for _, d := range raw {
+		suppressed := false
+		for _, a := range allows {
+			if a.rule == d.Rule && (a.line == d.Pos.Line || a.line == d.Pos.Line-1) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return append(out, bad...)
+}

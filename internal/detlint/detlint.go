@@ -1,0 +1,176 @@
+// Package detlint machine-checks the determinism and run-token
+// ownership contracts documented in docs/ARCHITECTURE.md. The whole
+// repo rests on runs being pure functions of their Config — sharded
+// sweeps merge byte-identically, traced runs schedule the same ticks
+// as untraced ones, golden suites stay stable across PRs — and the
+// ways that property breaks are depressingly few and lintable: a
+// wall-clock read, a draw from the global math/rand source, a map
+// iteration leaking its order into canonical bytes, a lock or
+// goroutine smuggled into run-token-owned state.
+//
+// Each contract is one Analyzer (see registry.go for the set). An
+// analyzer inspects one type-checked package at a time and reports
+// Diagnostics; the Check pipeline applies package scoping, collects
+// the diagnostics of every in-scope analyzer, and filters them
+// through the explicit escape hatch:
+//
+//	//detlint:allow <rule> -- <reason>
+//
+// placed on the offending line or the line above. Allows are
+// themselves checked — an unknown rule or an empty reason is a
+// diagnostic, so every suppression in the tree names a real rule and
+// carries a written-down justification.
+//
+// The package is deliberately stdlib-only (go/parser, go/ast,
+// go/types); the one external ingredient is the go toolchain itself,
+// which the loader shells out to for package file lists and export
+// data (see load.go).
+package detlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one reported contract violation.
+type Diagnostic struct {
+	// Pos locates the violation (file, line, column).
+	Pos token.Position
+	// Rule names the analyzer that produced the diagnostic.
+	Rule string
+	// Message states the violation.
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Analyzer is one determinism rule. Run inspects a loaded package and
+// reports raw diagnostics; the Check pipeline owns scoping and allow
+// filtering, so Run implementations stay pure syntax/type walks.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and allow comments.
+	Name string
+	// Doc is the one-line contract statement, mirrored row for row by
+	// the "Enforced invariants" table in docs/ARCHITECTURE.md
+	// (TestArchitectureDocMatchesRegistry pins the correspondence).
+	Doc string
+	// Scope labels where the rule applies: ScopeDeterministic,
+	// ScopeModule or ScopeTrace.
+	Scope string
+	// Run reports the rule's violations in one package.
+	Run func(*Package) []Diagnostic
+}
+
+// Scope labels. The deterministic scope is the set of packages whose
+// state is owned by the run token and whose behavior must be a pure
+// function of the run Config (deterministicPkgs in registry.go); the
+// module scope is every package of this module including cmd and
+// examples; the trace scope is internal/trace's canonical renderers.
+const (
+	ScopeDeterministic = "deterministic packages"
+	ScopeModule        = "all module packages"
+	ScopeTrace         = "internal/trace"
+)
+
+// applies reports whether the analyzer runs on a package with the
+// given module-relative path ("" for packages outside the module).
+func (a *Analyzer) applies(rel string, inModule bool) bool {
+	switch a.Scope {
+	case ScopeDeterministic:
+		return deterministicPkgs[rel]
+	case ScopeModule:
+		return inModule
+	case ScopeTrace:
+		return rel == "internal/trace"
+	}
+	return false
+}
+
+// Check runs every registered in-scope analyzer over the packages and
+// returns the surviving diagnostics: allow-comment suppressions are
+// applied, malformed allow comments are reported, and the result is
+// sorted by position. This is the cmd/detlint entry point.
+func Check(pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		var raw []Diagnostic
+		for _, a := range Registry {
+			if a.applies(p.RelPath, p.InModule) {
+				raw = append(raw, a.Run(p)...)
+			}
+		}
+		out = append(out, filterAllowed(p, raw)...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// CheckWith runs exactly the given analyzers on one package,
+// bypassing scope (fixture packages live under testdata and match no
+// scope) but still applying allow filtering. Test harness entry point.
+func CheckWith(p *Package, analyzers ...*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		raw = append(raw, a.Run(p)...)
+	}
+	out := filterAllowed(p, raw)
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// diag builds a Diagnostic at a node's position.
+func (p *Package) diag(rule string, at ast.Node, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:     p.Fset.Position(at.Pos()),
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// funcUse resolves an identifier use to a package-level function and
+// returns its defining package path and name ("", "" otherwise).
+// Methods do not qualify: the rules ban package-level entry points
+// (time.Now, rand.Intn, atomic.AddInt64), not methods that happen to
+// share a defining package.
+func (p *Package) funcUse(id *ast.Ident) (pkg, name string) {
+	fn, ok := p.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// typeUse resolves an identifier use to a named type and returns its
+// defining package path and name ("", "" otherwise).
+func (p *Package) typeUse(id *ast.Ident) (pkg, name string) {
+	tn, ok := p.Info.Uses[id].(*types.TypeName)
+	if !ok || tn.Pkg() == nil {
+		return "", ""
+	}
+	return tn.Pkg().Path(), tn.Name()
+}

@@ -1,0 +1,80 @@
+package detlint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestArchitectureDocMatchesRegistry pins the "Enforced invariants"
+// rule table in docs/ARCHITECTURE.md to the analyzer registry: every
+// registered analyzer must appear as a table row with its exact scope
+// and doc string, and the table must carry no rows for analyzers that
+// do not exist. Same spirit as cmd/experiments' schema cross-check —
+// the doc fails CI instead of rotting.
+func TestArchitectureDocMatchesRegistry(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join(repoRoot(t), "docs", "ARCHITECTURE.md"))
+	if err != nil {
+		t.Fatalf("read ARCHITECTURE.md: %v", err)
+	}
+	doc := string(raw)
+
+	_, section, ok := strings.Cut(doc, "## Enforced invariants (detlint)")
+	if !ok {
+		t.Fatal(`ARCHITECTURE.md has no "## Enforced invariants (detlint)" section`)
+	}
+	if next := strings.Index(section, "\n## "); next >= 0 {
+		section = section[:next]
+	}
+
+	// Parse the markdown table: rows are "| `name` | scope | doc |".
+	rows := map[string][2]string{} // name -> {scope, doc}
+	for _, line := range strings.Split(section, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "| `") {
+			continue
+		}
+		cells := strings.Split(strings.Trim(line, "|"), " | ")
+		if len(cells) != 3 {
+			t.Fatalf("rule table row does not have 3 cells: %q", line)
+		}
+		name := strings.Trim(strings.TrimSpace(cells[0]), "`")
+		rows[name] = [2]string{strings.TrimSpace(cells[1]), strings.TrimSpace(cells[2])}
+	}
+	if len(rows) == 0 {
+		t.Fatal("found no rule table rows in the enforced-invariants section")
+	}
+
+	for _, a := range Registry {
+		row, ok := rows[a.Name]
+		if !ok {
+			t.Errorf("analyzer %q is registered but missing from the ARCHITECTURE.md rule table", a.Name)
+			continue
+		}
+		if row[0] != a.Scope {
+			t.Errorf("analyzer %q: doc scope %q != registry scope %q", a.Name, row[0], a.Scope)
+		}
+		if row[1] != a.Doc {
+			t.Errorf("analyzer %q: doc contract %q != registry doc %q", a.Name, row[1], a.Doc)
+		}
+		delete(rows, a.Name)
+	}
+	for name := range rows {
+		t.Errorf("ARCHITECTURE.md rule table row %q names an unregistered analyzer", name)
+	}
+
+	// The escape-hatch syntax must be documented verbatim.
+	if !strings.Contains(section, allowPrefix+" <rule> -- <reason>") {
+		t.Errorf("enforced-invariants section does not document the %q comment syntax", allowPrefix)
+	}
+
+	// The deterministic-package list in prose must cover the scope map:
+	// each package's last path element has to be mentioned.
+	for pkg := range deterministicPkgs {
+		base := pkg[strings.LastIndex(pkg, "/")+1:]
+		if !strings.Contains(section, "`"+base+"`") && !strings.Contains(section, "`internal/"+base+"`") {
+			t.Errorf("deterministic package %q is not named in the enforced-invariants section", pkg)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package detlint
+
+import "go/ast"
+
+// globalrandAnalyzer bans the process-global math/rand source in
+// deterministic packages. The global source is shared across every
+// concurrently running cell and (since Go 1.20) auto-seeded, so a
+// single rand.Intn makes a cell's outcome depend on what else the
+// worker pool happened to run first. All simulation randomness flows
+// through per-run seeded streams: sim.System.intn for delivery draws,
+// splitmix64 (adversary.draw, fd/rand.go) for generators and oracles.
+// Constructing explicitly seeded sources (rand.NewSource(cfg.Seed))
+// stays legal; seeding one from the clock is caught by wallclock.
+var globalrandAnalyzer = &Analyzer{
+	Name:  "globalrand",
+	Scope: ScopeDeterministic,
+	Doc:   "no global `math/rand` draws; randomness comes from per-run seeded streams (`sim.System.intn`, splitmix64)",
+	Run:   runGlobalrand,
+}
+
+// globalrandBanned lists math/rand's (and v2's) package-level
+// functions that draw from or reseed the shared global source.
+var globalrandBanned = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 spellings.
+	"N": true, "IntN": true, "Int32N": true, "Int64N": true,
+	"UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+func runGlobalrand(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg, name := p.funcUse(id)
+			if (pkg == "math/rand" || pkg == "math/rand/v2") && globalrandBanned[name] {
+				out = append(out, p.diag("globalrand", id,
+					"rand.%s draws from the process-global source; use a per-run seeded stream", name))
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// maporderAnalyzer hunts the canonical-bytes killer: a `range` over a
+// map whose iteration order leaks into ordered output. Go randomizes
+// map order per iteration, so a loop that appends to a slice, writes
+// a buffer, prints, encodes JSON or records trace events in map order
+// produces different bytes on every run — the exact failure the
+// golden suite would otherwise surface three PRs later as a mystery
+// diff. The blessed pattern — collect the keys, sort them, iterate
+// the sorted slice — is recognized and not flagged: an append-only
+// loop whose slice is subsequently passed to a sort.*/slices.Sort*
+// call in the same function is the collect half of that idiom.
+// Order-independent bodies (counting, set membership, map-to-map
+// copies, min/max reduction) are not flagged at all.
+var maporderAnalyzer = &Analyzer{
+	Name:  "maporder",
+	Scope: ScopeModule,
+	Doc:   "no `range` over a map feeding ordered output (slice append without a sort, buffer writes, printing, JSON, trace events)",
+	Run:   runMaporder,
+}
+
+func runMaporder(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				out = append(out, p.maporderFunc(body)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// maporderFunc checks one function body. Nested function literals are
+// skipped here — the file walk visits them as functions of their own,
+// with their own body as the sort-search scope.
+func (p *Package) maporderFunc(body *ast.BlockStmt) []Diagnostic {
+	var out []Diagnostic
+	inspectShallow(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !p.isMapType(rng.X) {
+			return true
+		}
+		if d, bad := p.checkMapRange(rng, body); bad {
+			out = append(out, d)
+		}
+		return true // nested map ranges inside the body are checked too
+	})
+	return out
+}
+
+// inspectShallow walks n without descending into nested *ast.FuncLit.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// isMapType reports whether the expression has map type (through
+// pointers).
+func (p *Package) isMapType(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type.Underlying()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem().Underlying()
+	}
+	_, isMap := t.(*types.Map)
+	return isMap
+}
+
+// checkMapRange inspects one map-range body for order-sensitive sinks
+// and reports the first one found. Collect-append sinks are excused
+// when the appended slice is sorted later in the enclosing function.
+func (p *Package) checkMapRange(rng *ast.RangeStmt, fnBody *ast.BlockStmt) (Diagnostic, bool) {
+	var sink string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if s := p.assignSink(n, rng, fnBody); s != "" {
+				sink = s
+			}
+		case *ast.CallExpr:
+			if s := p.callSink(n); s != "" {
+				sink = s
+			}
+		}
+		return true
+	})
+	if sink == "" {
+		return Diagnostic{}, false
+	}
+	return p.diag("maporder", rng,
+		"range over map has nondeterministic order and %s; iterate sorted keys (or justify order-independence with an allow)", sink), true
+}
+
+// assignSink classifies an assignment inside a map-range body:
+// unsorted collect-appends and string accumulation are sinks.
+func (p *Package) assignSink(as *ast.AssignStmt, rng *ast.RangeStmt, fnBody *ast.BlockStmt) string {
+	if as.Tok == token.ADD_ASSIGN {
+		if tv, ok := p.Info.Types[as.Lhs[0]]; ok && tv.Type != nil {
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				return "accumulates a string"
+			}
+		}
+		return ""
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !p.isBuiltinAppend(call.Fun) || i >= len(as.Lhs) {
+			continue
+		}
+		obj := p.rootObj(as.Lhs[i])
+		if obj == nil || !p.sortedAfter(obj, rng, fnBody) {
+			return "appends to a slice that is never sorted afterwards"
+		}
+	}
+	return ""
+}
+
+// callSink classifies a call inside a map-range body: buffer/writer
+// writes, printing, JSON encoding and trace recording are sinks.
+func (p *Package) callSink(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if s, isMethod := p.methodSink(sel); isMethod {
+			return s
+		}
+		pkg, name := p.funcUse(sel.Sel)
+		switch {
+		case pkg == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Append")):
+			return "emits formatted output"
+		case pkg == "encoding/json":
+			return "encodes JSON"
+		}
+	}
+	return ""
+}
+
+// methodSink classifies method calls; the bool reports whether sel
+// resolved to a method at all.
+func (p *Package) methodSink(sel *ast.SelectorExpr) (string, bool) {
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return "writes to a buffer/writer", true
+	case "Encode":
+		if fn.Pkg() != nil && fn.Pkg().Path() == "encoding/json" {
+			return "encodes JSON", true
+		}
+	}
+	if recv := sig.Recv().Type(); recvNamed(recv) == "fdgrid/internal/trace.Recorder" {
+		return "records trace events", true
+	}
+	return "", true
+}
+
+// recvNamed renders a receiver type as "pkgpath.Name" through
+// pointers ("" for unnamed receivers).
+func recvNamed(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// isBuiltinAppend reports whether the call target is the append
+// builtin.
+func (p *Package) isBuiltinAppend(fun ast.Expr) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := p.Info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}
+
+// rootObj resolves the variable (or field) an lvalue ultimately
+// names: x, x.f and x[i] all resolve; anything fancier returns nil
+// and the caller stays conservative.
+func (p *Package) rootObj(e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := p.Info.Uses[e]; obj != nil {
+			return obj
+		}
+		return p.Info.Defs[e]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return p.rootObj(e.X)
+	case *ast.ParenExpr:
+		return p.rootObj(e.X)
+	}
+	return nil
+}
+
+// sortedAfter reports whether obj is passed to a sort call after the
+// range statement, anywhere in the enclosing function body — the
+// second half of the collect-then-sort idiom.
+func (p *Package) sortedAfter(obj types.Object, rng *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, name := p.funcUse(sel.Sel)
+		isSort := (pkg == "sort" && (name == "Strings" || name == "Ints" || name == "Float64s" ||
+			name == "Slice" || name == "SliceStable" || name == "Sort" || name == "Stable")) ||
+			(pkg == "slices" && strings.HasPrefix(name, "Sort"))
+		if isSort && p.rootObj(call.Args[0]) == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,58 @@
+package detlint
+
+import "strings"
+
+// Registry is the full rule set, in the order diagnostics cite them.
+// The "Enforced invariants" table in docs/ARCHITECTURE.md mirrors
+// this slice row for row; TestArchitectureDocMatchesRegistry keeps
+// the two from drifting apart.
+var Registry = []*Analyzer{
+	wallclockAnalyzer,
+	globalrandAnalyzer,
+	maporderAnalyzer,
+	runtokenAnalyzer,
+	tracecanonAnalyzer,
+}
+
+// deterministicPkgs is the deterministic scope: every package whose
+// state participates in a simulated run and must stay a pure function
+// of the run Config. internal/sweep is included — its engine is the
+// host-side boundary, and exactly the documented worker-pool and
+// report-timing sites carry allows. Host-side utilities that never
+// touch a run (benchrec's benchmark parsing, cliutil's tables) and
+// cmd/* are out of scope for these rules; maporder still covers them
+// through ScopeModule.
+var deterministicPkgs = map[string]bool{
+	"internal/sim":       true,
+	"internal/fd":        true,
+	"internal/agreement": true,
+	"internal/reduction": true,
+	"internal/adversary": true,
+	"internal/trace":     true,
+	"internal/ids":       true,
+	"internal/rbcast":    true,
+	"internal/register":  true,
+	"internal/node":      true,
+	"internal/core":      true,
+	"internal/sweep":     true,
+}
+
+// registered returns the analyzer with the given rule name, nil if
+// unknown.
+func registered(name string) *Analyzer {
+	for _, a := range Registry {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// ruleNames renders the registered rule names for error messages.
+func ruleNames() string {
+	names := make([]string, len(Registry))
+	for i, a := range Registry {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}

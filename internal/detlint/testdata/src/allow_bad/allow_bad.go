@@ -1,0 +1,26 @@
+// Package allow_bad exercises the escape hatch's own checks: an
+// allow without a reason, or naming an unknown rule, is itself a
+// diagnostic — and suppresses nothing.
+package allow_bad
+
+import "time"
+
+// NoReason carries an allow with no reason: rejected, and the
+// wallclock diagnostic it hoped to cover survives.
+func NoReason() int64 {
+	//detlint:allow wallclock // want allow
+	return time.Now().UnixNano() // want wallclock
+}
+
+// UnknownRule names a rule that does not exist.
+func UnknownRule() int64 {
+	//detlint:allow warpclock -- the rule name has a typo // want allow
+	return time.Now().UnixNano() // want wallclock
+}
+
+// WrongRule is well-formed but names the wrong rule for the line, so
+// the wallclock diagnostic still fires.
+func WrongRule() int64 {
+	//detlint:allow maporder -- fixture: a reasoned allow for a rule this line does not violate
+	return time.Now().UnixNano() // want wallclock
+}

@@ -1,0 +1,17 @@
+// Package allow_ok exercises the escape hatch's two placements: a
+// well-formed allow on the offending line or the line above
+// suppresses exactly that rule's diagnostic there.
+package allow_ok
+
+import "time"
+
+// Above is suppressed by a comment-above allow.
+func Above() int64 {
+	//detlint:allow wallclock -- fixture: documents the comment-above placement
+	return time.Now().UnixNano()
+}
+
+// Trailing is suppressed by a same-line allow.
+func Trailing() int64 {
+	return time.Now().UnixNano() //detlint:allow wallclock -- fixture: documents the same-line placement
+}

@@ -1,0 +1,19 @@
+// Package globalrand_neg draws from explicitly seeded per-run
+// streams — the legal pattern: same seed, same draws, whatever else
+// runs concurrently.
+package globalrand_neg
+
+import "math/rand"
+
+// Draw replays a deterministic stream from its seed.
+func Draw(seed int64, n int) int {
+	return rand.New(rand.NewSource(seed)).Intn(n)
+}
+
+// Splitmix is the dependency-free alternative used by the generators.
+func Splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,18 @@
+// Package globalrand_pos draws from the process-global math/rand
+// source: the seeded bug. The global source is shared across every
+// concurrently running cell, so these draws couple a cell's outcome
+// to whatever else the worker pool ran first.
+package globalrand_pos
+
+import "math/rand"
+
+// Draw uses the global source directly.
+func Draw(n int) int {
+	return rand.Intn(n) // want globalrand
+}
+
+// Scramble shuffles and permutes via the global source.
+func Scramble(xs []int) []int {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want globalrand
+	return rand.Perm(len(xs))                                             // want globalrand
+}

@@ -1,0 +1,54 @@
+// Package maporder_neg iterates maps the legal ways: collect-then-
+// sort before anything ordered, or bodies whose outcome is
+// order-independent (counting, membership, map-to-map copies,
+// min/max reduction).
+package maporder_neg
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Render is the blessed pattern: collect the keys, sort, iterate the
+// sorted slice.
+func Render(m map[string]int) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b bytes.Buffer
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.Bytes()
+}
+
+// SortedInts works with sort.Slice too.
+func SortedInts(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Total is an order-independent reduction.
+func Total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Copy is an order-independent map-to-map copy.
+func Copy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

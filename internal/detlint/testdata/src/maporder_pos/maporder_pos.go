@@ -1,0 +1,45 @@
+// Package maporder_pos seeds the canonical-bytes killer in its common
+// shapes: map iteration order leaking into ordered output. Every
+// flagged loop produces different bytes on different runs.
+package maporder_pos
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Render feeds a buffer in map order — the textbook seeded bug: two
+// renders of the same map yield different bytes.
+func Render(m map[string]int) []byte {
+	var b bytes.Buffer
+	for k, v := range m { // want maporder
+		fmt.Fprintf(&b, "%s=%d\n", k, v)
+	}
+	return b.Bytes()
+}
+
+// Keys collects keys but never sorts them: callers see a
+// different order every run.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want maporder
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Print emits directly in map order.
+func Print(m map[string]int) {
+	for k := range m { // want maporder
+		fmt.Println(k)
+	}
+}
+
+// Concat accumulates a string in map order.
+func Concat(m map[string]bool) string {
+	s := ""
+	for k := range m { // want maporder
+		s += k
+	}
+	return s
+}

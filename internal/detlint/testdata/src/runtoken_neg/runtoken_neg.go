@@ -1,0 +1,20 @@
+// Package runtoken_neg holds plain run-token-owned state: no locks,
+// no atomics, no goroutines. Channels are how the token itself moves,
+// so channel operations are legal.
+package runtoken_neg
+
+// Sched is run-token state accessed without synchronization.
+type Sched struct {
+	queue []int
+	yield chan struct{}
+}
+
+// Push appends under token ownership.
+func (s *Sched) Push(v int) {
+	s.queue = append(s.queue, v)
+}
+
+// Handoff passes the token over a channel.
+func (s *Sched) Handoff() {
+	s.yield <- struct{}{}
+}

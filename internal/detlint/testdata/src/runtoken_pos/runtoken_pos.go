@@ -1,0 +1,37 @@
+// Package runtoken_pos smuggles synchronization into what run-token
+// ownership already serializes: locks and atomics hide ordering bugs
+// from -race, and stray goroutines are a second scheduler beside the
+// deterministic one.
+package runtoken_pos
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter guards run-token state with a lock it must not need.
+type counter struct {
+	mu sync.Mutex // want runtoken
+	n  int64
+}
+
+// hits is atomic state outside the documented cross-thread surface.
+var hits atomic.Int64 // want runtoken
+
+// Bump takes the redundant lock.
+func (c *counter) Bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Record uses a package-level atomic operation.
+func Record(p *int64) {
+	atomic.AddInt64(p, 1) // want runtoken
+}
+
+// Spawn launches a goroutine beside the run token.
+func Spawn(f func()) {
+	go f() // want runtoken
+	hits.Add(1)
+}

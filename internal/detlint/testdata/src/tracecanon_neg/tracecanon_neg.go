@@ -1,0 +1,24 @@
+// Package tracecanon_neg renders canonical bytes the legal way:
+// fixed fields, manual appends, explicit verbs that cannot pick up
+// reflection-shaped output.
+package tracecanon_neg
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Append renders an event with fixed fields and manual appends, the
+// Event.append idiom.
+func Append(b []byte, at int64, kind string) []byte {
+	b = append(b, `{"at":`...)
+	b = strconv.AppendInt(b, at, 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, kind...)
+	return append(b, '"', '}')
+}
+
+// Explain uses explicit, non-reflective verbs.
+func Explain(kind string, n int) error {
+	return fmt.Errorf("trace: unknown kind %q (%d events)", kind, n)
+}

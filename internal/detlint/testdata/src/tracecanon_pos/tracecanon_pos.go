@@ -1,0 +1,30 @@
+// Package tracecanon_pos renders "canonical" bytes with
+// reflection-shaped formatting: %v picks up map order and struct
+// layout, fmt.Sprint formats everything with %v rules, and
+// encoding/json couples the bytes to the encoder's defaults.
+package tracecanon_pos
+
+import (
+	"encoding/json" // want tracecanon
+	"fmt"
+)
+
+// Render formats an arbitrary value with %v.
+func Render(ev any) string {
+	return fmt.Sprintf("event=%v", ev) // want tracecanon
+}
+
+// RenderPlus uses the flagged-verb variants.
+func RenderPlus(ev any) string {
+	return fmt.Sprintf("%+v %#v", ev, ev) // want tracecanon
+}
+
+// Join formats with default rules, no format string at all.
+func Join(parts []string) string {
+	return fmt.Sprint(parts) // want tracecanon
+}
+
+// Encode goes through map-backed JSON encoding.
+func Encode(m map[string]int64) ([]byte, error) {
+	return json.Marshal(m)
+}

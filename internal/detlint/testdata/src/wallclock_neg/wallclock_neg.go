@@ -1,0 +1,15 @@
+// Package wallclock_neg uses the legal, pure-value part of package
+// time: Duration arithmetic and constants never read the host clock.
+package wallclock_neg
+
+import "time"
+
+// Budget does Duration arithmetic only.
+func Budget(ticks int64) time.Duration {
+	return time.Duration(ticks) * time.Millisecond
+}
+
+// Render formats a duration value.
+func Render(d time.Duration) string {
+	return d.String()
+}

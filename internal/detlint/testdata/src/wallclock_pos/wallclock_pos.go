@@ -1,0 +1,26 @@
+// Package wallclock_pos seeds wall-clock reads the wallclock analyzer
+// must catch: each flagged line would make a "deterministic" run a
+// function of the host clock.
+package wallclock_pos
+
+import "time"
+
+// Stamp reads the host clock two different ways.
+func Stamp() int64 {
+	t := time.Now()          // want wallclock
+	elapsed := time.Since(t) // want wallclock
+	return t.UnixNano() + int64(elapsed)
+}
+
+// Nap schedules against the host clock.
+func Nap() {
+	time.Sleep(time.Millisecond)   // want wallclock
+	<-time.After(time.Millisecond) // want wallclock
+}
+
+// Timer builds host-clock timers; passing the function as a value
+// counts too.
+func Timer() func(time.Duration) *time.Timer {
+	_ = time.NewTicker(time.Second) // want wallclock
+	return time.NewTimer            // want wallclock
+}

@@ -1,0 +1,99 @@
+package detlint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// tracecanonAnalyzer guards internal/trace's canonical renderers. A
+// trace digest is a promise: same cell, same level, same bytes —
+// whatever machine or Go version ran it. Reflection-driven formatting
+// breaks that promise quietly: %v on a map renders in random order,
+// %v on a struct renders whatever fields the struct has this PR, and
+// encoding/json turns Go maps into key-sorted-today output coupled to
+// the encoder's defaults. The renderers therefore spell out fixed
+// per-kind fields with manual appends (Event.append); this rule keeps
+// reflection-shaped formatting from creeping back in.
+var tracecanonAnalyzer = &Analyzer{
+	Name:  "tracecanon",
+	Scope: ScopeTrace,
+	Doc:   "no `%v`-family verbs, `fmt.Sprint`-style default formatting or `encoding/json` in trace's canonical renderers",
+	Run:   runTracecanon,
+}
+
+// tracecanonDefaultFmt is the fmt API that formats every operand with
+// default (%v) rules, with no format string to inspect.
+var tracecanonDefaultFmt = map[string]bool{
+	"Sprint": true, "Sprintln": true, "Print": true, "Println": true,
+	"Fprint": true, "Fprintln": true, "Append": true, "Appendln": true,
+}
+
+func runTracecanon(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "encoding/json" {
+				out = append(out, p.diag("tracecanon", imp,
+					"encoding/json is map-backed encoding; canonical trace bytes are rendered with fixed per-kind appends"))
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, name := p.funcUse(sel.Sel)
+			if pkg != "fmt" {
+				return true
+			}
+			if tracecanonDefaultFmt[name] {
+				out = append(out, p.diag("tracecanon", call,
+					"fmt.%s formats with default %%v rules; canonical renderers spell out fixed per-kind fields", name))
+				return true
+			}
+			if lit := formatLiteral(call); lit != "" && hasVerbV(lit) {
+				out = append(out, p.diag("tracecanon", call,
+					"%%v renders via reflection (map order, struct layout); canonical renderers spell out fixed per-kind fields"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// formatLiteral returns the first string-literal argument of a fmt
+// call — the format string for the *f family ("" when non-literal).
+func formatLiteral(call *ast.CallExpr) string {
+	for _, arg := range call.Args {
+		if lit, ok := arg.(*ast.BasicLit); ok && lit.Kind.String() == "STRING" {
+			if s, err := strconv.Unquote(lit.Value); err == nil {
+				return s
+			}
+		}
+	}
+	return ""
+}
+
+// hasVerbV reports whether the format string contains a %v-family
+// verb (%v, %+v, %#v, with any flags or width).
+func hasVerbV(format string) bool {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		j := i + 1
+		for j < len(format) && strings.ContainsRune("+-# 0123456789.*", rune(format[j])) {
+			j++
+		}
+		if j < len(format) && format[j] == 'v' {
+			return true
+		}
+		i = j
+	}
+	return false
+}

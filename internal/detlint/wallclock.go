@@ -1,0 +1,44 @@
+package detlint
+
+import "go/ast"
+
+// wallclockAnalyzer bans wall-clock reads and timers in deterministic
+// packages. A run is a pure function of its Config; one time.Now in a
+// runner and two sweeps of the same matrix stop agreeing — or worse,
+// agree on the machine that built the golden and diverge in CI.
+// Wall-clock timing is legal in cmd/* (not in this scope) and at the
+// sweep engine's report-timing sites, which carry explicit allows
+// (their WallNS fields are json:"-" and never reach canonical bytes).
+var wallclockAnalyzer = &Analyzer{
+	Name:  "wallclock",
+	Scope: ScopeDeterministic,
+	Doc:   "no `time.Now`/`Since`/`Sleep`/timers in deterministic packages; virtual time comes from the simulator clock",
+	Run:   runWallclock,
+}
+
+// wallclockBanned is the banned subset of package time: everything
+// that reads the host clock or schedules against it. Pure-value API
+// (Duration arithmetic, constants) stays legal.
+var wallclockBanned = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func runWallclock(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pkg, name := p.funcUse(id); pkg == "time" && wallclockBanned[name] {
+				out = append(out, p.diag("wallclock", id,
+					"time.%s reads the wall clock; deterministic code must use the simulator's virtual clock", name))
+			}
+			return true
+		})
+	}
+	return out
+}

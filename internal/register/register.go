@@ -19,8 +19,6 @@
 package register
 
 import (
-	"sync"
-
 	"fdgrid/internal/ids"
 )
 
@@ -42,8 +40,14 @@ type key struct {
 
 // Memory is a shared-memory register space: the substrate of the paper's
 // shared-memory model. Create one Memory per run and a view per process.
+//
+// Like every register substrate, a Memory is run-token state: processes
+// read and write it from their own goroutines, but only while holding
+// the run token, so the scheduler's channel handoffs serialize every
+// access and no lock is involved (the -race CI job verifies this along
+// with the rest of the ownership contract). The atomicity the paper's
+// model asks of a register is exactly what token serialization gives.
 type Memory struct {
-	mu   sync.RWMutex
 	regs map[key]any
 }
 
@@ -58,14 +62,10 @@ func (m *Memory) View(p ids.ProcID) Store {
 }
 
 func (m *Memory) write(k key, v any) {
-	m.mu.Lock()
 	m.regs[k] = v
-	m.mu.Unlock()
 }
 
 func (m *Memory) read(k key) any {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	return m.regs[k]
 }
 

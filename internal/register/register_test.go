@@ -29,25 +29,33 @@ func TestMemoryStore(t *testing.T) {
 	}
 }
 
-func TestMemoryStoreConcurrent(t *testing.T) {
+// TestMemoryStoreInterleaved: a Memory is run-token state — processes
+// access it from their own goroutines, serialized only by the token
+// handoffs, with no lock in the substrate. Eight simulated processes
+// interleave writes and reads tick by tick; the -race CI job is what
+// makes this test meaningful.
+func TestMemoryStoreInterleaved(t *testing.T) {
+	const n, iters = 8, 1000
 	mem := NewMemory()
-	var wg sync.WaitGroup
-	for p := 1; p <= 8; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			v := mem.View(ids.ProcID(p))
-			for i := int64(0); i < 1000; i++ {
-				v.Write("c", i)
-				for q := 1; q <= 8; q++ {
-					v.Read(ids.ProcID(q), "c")
-				}
+	sys := sim.MustNew(sim.Config{N: n, T: 0, Seed: 1, MaxSteps: 100_000})
+	done := 0 // token-owned, like the registers themselves
+	sys.SpawnAll(func(env *sim.Env) {
+		v := mem.View(env.ID())
+		for i := int64(0); i < iters; i++ {
+			v.Write("c", i)
+			for q := 1; q <= n; q++ {
+				v.Read(ids.ProcID(q), "c")
 			}
-		}(p)
+			env.Step() // yield the token so the writes interleave
+		}
+		done++
+	})
+	rep := sys.Run(func() bool { return done == n })
+	if !rep.StoppedEarly {
+		t.Fatalf("run hit MaxSteps; %d/%d processes finished", done, n)
 	}
-	wg.Wait()
-	for p := 1; p <= 8; p++ {
-		if got := mem.View(1).Read(ids.ProcID(p), "c"); got != int64(999) {
+	for p := 1; p <= n; p++ {
+		if got := mem.View(1).Read(ids.ProcID(p), "c"); got != int64(iters-1) {
 			t.Errorf("final counter of %d = %v", p, got)
 		}
 	}

@@ -287,8 +287,9 @@ type System struct {
 	cfg     Config
 	pattern *Pattern
 	src     rand.Source64 // the delivery draw stream (see System.intn)
-	now     atomic.Int64  // atomic: cross-thread readers may sample the clock
-	procs   []*Proc       // index 1..N
+	//detlint:allow runtoken -- System.Now is documented cross-thread surface: any goroutine may sample the clock
+	now     atomic.Int64
+	procs   []*Proc // index 1..N
 	metrics *Metrics
 
 	// rec, when non-nil, records the run's decision trace (crashes here
@@ -384,10 +385,12 @@ type System struct {
 
 	// inflight counts accepted-but-undelivered messages. Atomic: it is
 	// the one network figure exposed to other goroutines (InFlight).
+	//detlint:allow runtoken -- System.InFlight is documented cross-thread surface
 	inflight atomic.Int64
 
 	// External wake hints (WakeAt), kept sorted ascending. Locked: the
 	// one mutable input other goroutines may feed a running scheduler.
+	//detlint:allow runtoken -- System.WakeAt is documented cross-thread surface; the hint list is its locked inbox
 	hintMu sync.Mutex
 	hints  []Time
 
@@ -396,8 +399,10 @@ type System struct {
 
 	// hintLen mirrors len(hints) so the per-tick nextTime can skip the
 	// hint lock entirely when no hints exist (the common case).
+	//detlint:allow runtoken -- mirrors the WakeAt hint list's length across threads
 	hintLen atomic.Int32
 
+	//detlint:allow runtoken -- Run joins the process goroutines at teardown, publishing all run state
 	wg        sync.WaitGroup
 	ran       bool
 	onTick    []func(Time)
@@ -610,6 +615,7 @@ type Report struct {
 // the park and exit paths yield straight to Run's goroutine.
 func (s *System) launch(p *Proc) {
 	s.wg.Add(1)
+	//detlint:allow runtoken -- the one sanctioned goroutine spawn: each process main runs on its own goroutine, serialized by the run token
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {

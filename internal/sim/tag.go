@@ -21,6 +21,7 @@ type Tag int32
 // System — a sweep runs many systems concurrently, and a tag like
 // "kset.phase1" means the same thing in all of them.
 var tagTable = struct {
+	//detlint:allow runtoken -- the interner is the one deliberately global, lock-guarded table; append-only, shared by concurrent runs
 	mu    sync.RWMutex
 	ids   map[string]Tag
 	names []string // index Tag; names[0] is the zero Tag's ""

@@ -17,6 +17,7 @@ import (
 type Runner func(*Cell, *CellResult)
 
 var (
+	//detlint:allow runtoken -- the runner registry is host-side process-global state (package init + tests), not run state
 	runnersMu sync.RWMutex
 	runners   = make(map[string]Runner)
 )
@@ -126,6 +127,7 @@ func Run(m Matrix, opt Options) (*Report, error) {
 		runner = r
 	}
 
+	//detlint:allow wallclock -- sweep report timing: WallNS is json:"-" and never reaches canonical bytes
 	start := time.Now()
 	results := make([]CellResult, len(cells))
 	// Lock-free work distribution: Add hands each worker a distinct
@@ -133,6 +135,7 @@ func Run(m Matrix, opt Options) (*Report, error) {
 	// but results[i] is written only by the worker that took i, and the
 	// report is assembled in index order after wg.Wait, so the output is
 	// deterministic regardless.
+	//detlint:allow runtoken -- the worker pool's lock-free work counter; host-side, outside any run
 	var next atomic.Int64
 	take := func() int {
 		i := int(next.Add(1)) - 1
@@ -146,9 +149,11 @@ func Run(m Matrix, opt Options) (*Report, error) {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+	//detlint:allow runtoken -- joins the host-side worker pool before assembling the report
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//detlint:allow runtoken -- the documented host-side worker pool: each worker runs whole cells on isolated Systems
 		go func() {
 			defer wg.Done()
 			for {
@@ -162,6 +167,7 @@ func Run(m Matrix, opt Options) (*Report, error) {
 	}
 	wg.Wait()
 
+	//detlint:allow wallclock -- sweep report timing: WallNS is json:"-" and never reaches canonical bytes
 	rep := &Report{Matrix: m, Cells: results, Shard: shardMeta, WallNS: time.Since(start).Nanoseconds()}
 	for i := range results {
 		switch results[i].Verdict {
@@ -196,8 +202,10 @@ func runCell(runner Runner, c *Cell) (res CellResult) {
 	if lvl, err := trace.ParseLevel(c.TraceLevel); err == nil && lvl != trace.Off {
 		c.rec = trace.New(lvl)
 	}
+	//detlint:allow wallclock -- per-cell report timing: WallNS is json:"-" and never reaches canonical bytes
 	start := time.Now()
 	defer func() {
+		//detlint:allow wallclock -- per-cell report timing: WallNS is json:"-" and never reaches canonical bytes
 		res.WallNS = time.Since(start).Nanoseconds()
 		if r := recover(); r != nil {
 			res.Verdict = Errored
