@@ -8,14 +8,19 @@
 // The suite also shards: `-shard i/m` runs only every m-th cell of
 // every matrix and writes a partial JSON suite; m such runs recombine
 // with `-merge` into bytes identical to the unsharded `-report` output.
-// That is how CI fans the sweep out across jobs, and the stepping stone
-// to multi-machine sweeps.
+// That is how CI fans the sweep out across jobs. `-dispatch N` goes the
+// rest of the way: the suite runs through the internal/dispatch
+// scheduler across N subprocess workers (self-exec'd copies of this
+// binary), with the merged report still byte-identical; `-matrices`
+// exports the suite's matrices in the JSON form cmd/sweepd consumes.
 //
 // Usage:
 //
 //	experiments [-out EXPERIMENTS.md] [-seeds 3] [-workers N] [-report sweep.json]
 //	experiments -shard i/m -report shard-i.json        # one shard, no markdown
 //	experiments -merge -report merged.json shard-*.json
+//	experiments -dispatch 3 -report suite.json         # distributed, no markdown
+//	experiments -matrices suite-spec.json              # export matrices for sweepd
 //	experiments ... -golden suite.golden.json          # byte-compare the suite
 //	experiments ... -cpuprofile cpu.prof -memprofile mem.prof
 //	experiments -replay MATRIX:INDEX                   # trace one suite cell
@@ -27,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -38,6 +44,7 @@ import (
 	"fdgrid/internal/benchrec"
 	"fdgrid/internal/cliutil"
 	"fdgrid/internal/core"
+	"fdgrid/internal/dispatch"
 	"fdgrid/internal/ids"
 	"fdgrid/internal/sim"
 	"fdgrid/internal/sweep"
@@ -60,12 +67,38 @@ func main() {
 		replay    = flag.String("replay", "", "re-run one suite cell with decision tracing on (format \"MATRIX:INDEX\"); skips the suite")
 		perturb   = flag.String("perturb", "", "with -replay: one counterfactual edit (\"gst±K\", \"stab±K\", \"crash=P@T\", \"hold[I]±K\") applied to a second run, diffed against the first")
 		traceLvl  = flag.String("trace", "", "with -replay: trace level (\"decisions\" or \"full\"; default decisions)")
+		matricesF = flag.String("matrices", "", "write the suite's matrices as a JSON array here (sweepd's input format) and exit without running anything")
+		dispatchN = flag.Int("dispatch", 0, "run the suite through the distributed dispatcher with this many subprocess workers; requires -report and skips the markdown output")
+		wkStdio   = flag.Bool("worker-stdio", false, "internal: run as a stdio dispatch worker (the -dispatch mode spawns these)")
 	)
 	flag.Parse()
 
 	fatal := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *wkStdio {
+		if err := dispatch.ServeWorker(dispatch.Stdio{}, dispatch.WorkerOptions{
+			Name: "experiments-worker",
+			Pool: *workers,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *matricesF != "" {
+		ms := suiteMatrices(*seeds)
+		blob, err := json.MarshalIndent(ms, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*matricesF, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d matrices)\n", *matricesF, len(ms))
+		return
 	}
 
 	if *replay != "" {
@@ -93,6 +126,16 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("merged %d shard suites into %s (%d bytes)\n", len(flag.Args()), *report, len(suite))
+		return
+	}
+
+	if *dispatchN > 0 {
+		if *report == "" {
+			fatal(fmt.Errorf("experiments: -dispatch requires -report (the dispatched suite has no markdown output)"))
+		}
+		if err := runDispatched(*dispatchN, *seeds, *workers, *report, *golden, *verbose); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -164,14 +207,24 @@ func main() {
 	fmt.Printf("wrote %s (%d matrices, %d cells, %.2fs)\n", target, len(reports), cells, time.Since(start).Seconds())
 }
 
-// parseShard parses "i/m" (empty = unsharded).
+// parseShard parses "i/m" (empty = unsharded). Strict: both halves
+// must be bare integers — fmt.Sscanf-style prefix parsing would accept
+// trailing junk like "0/4x" and silently run the wrong shard.
 func parseShard(spec string) (sweep.Shard, error) {
 	if spec == "" {
 		return sweep.Shard{}, nil
 	}
+	idx, cnt, ok := strings.Cut(spec, "/")
+	if !ok {
+		return sweep.Shard{}, fmt.Errorf("experiments: bad -shard %q (want i/m)", spec)
+	}
 	var s sweep.Shard
-	if _, err := fmt.Sscanf(spec, "%d/%d", &s.Index, &s.Count); err != nil {
-		return sweep.Shard{}, fmt.Errorf("experiments: bad -shard %q (want i/m): %v", spec, err)
+	var err error
+	if s.Index, err = strconv.Atoi(idx); err != nil {
+		return sweep.Shard{}, fmt.Errorf("experiments: bad -shard %q: index %q is not an integer (want i/m)", spec, idx)
+	}
+	if s.Count, err = strconv.Atoi(cnt); err != nil {
+		return sweep.Shard{}, fmt.Errorf("experiments: bad -shard %q: count %q is not an integer (want i/m)", spec, cnt)
 	}
 	if s.Count < 1 || s.Index < 0 || s.Index >= s.Count {
 		return sweep.Shard{}, fmt.Errorf("experiments: -shard %q out of range", spec)
@@ -352,7 +405,10 @@ func printReplayCell(label string, c sweep.CellResult) {
 		label, c.Seed, c.Size.N, c.Size.T, oracle, c.Verdict, c.Steps, c.TraceEvents, c.TraceDigest)
 }
 
-// parseReplaySpec splits "MATRIX:INDEX" (matrix names contain no colon).
+// parseReplaySpec splits "MATRIX:INDEX" (matrix names contain no
+// colon). The index must be a non-negative integer — a negative one
+// can never name a cell, so it is rejected here with usage guidance
+// rather than later as a confusing out-of-range error.
 func parseReplaySpec(spec string) (string, int, error) {
 	i := strings.LastIndex(spec, ":")
 	if i <= 0 {
@@ -360,23 +416,76 @@ func parseReplaySpec(spec string) (string, int, error) {
 	}
 	index, err := strconv.Atoi(spec[i+1:])
 	if err != nil {
-		return "", 0, fmt.Errorf("experiments: bad -replay index in %q: %v", spec, err)
+		return "", 0, fmt.Errorf("experiments: bad -replay index in %q (want MATRIX:INDEX): %v", spec, err)
+	}
+	if index < 0 {
+		return "", 0, fmt.Errorf("experiments: bad -replay %q: index must be >= 0", spec)
 	}
 	return spec[:i], index, nil
 }
 
 // suiteJSON renders the suite: a JSON array of the canonical per-matrix
-// reports. The merge path reproduces these bytes exactly.
+// reports. The merge path and the sweepd dispatcher reproduce these
+// bytes exactly — all three go through sweep.SuiteJSON.
 func suiteJSON(reports []*sweep.Report) ([]byte, error) {
-	blobs := make([]json.RawMessage, 0, len(reports))
-	for _, r := range reports {
-		blob, err := r.CanonicalJSON()
-		if err != nil {
-			return nil, err
-		}
-		blobs = append(blobs, blob)
+	return sweep.SuiteJSON(reports)
+}
+
+// runDispatched runs the whole suite through the distributed
+// dispatcher: n subprocess workers (self-exec'd with -worker-stdio),
+// merged output written to reportPath and optionally diffed against a
+// golden — byte-identical to the unsharded run by construction.
+func runDispatched(n, seeds, pool int, reportPath, golden string, verbose bool) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
 	}
-	return json.MarshalIndent(blobs, "", "  ")
+	// Split the machine between the workers rather than oversubscribing
+	// it n×: each subprocess gets an equal slice of the pool unless the
+	// user pinned -workers explicitly.
+	if pool == 0 {
+		pool = runtime.GOMAXPROCS(0) / n
+		if pool < 1 {
+			pool = 1
+		}
+	}
+	fleet := make([]dispatch.Transport, 0, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe, "-worker-stdio", "-workers", strconv.Itoa(pool))
+		cmd.Stderr = os.Stderr
+		tr, err := dispatch.SpawnWorker(fmt.Sprintf("exp%d", i), cmd)
+		if err != nil {
+			return err
+		}
+		fleet = append(fleet, tr)
+	}
+	cfg := dispatch.Config{
+		Matrices:      suiteMatrices(seeds),
+		Speculate:     true,
+		LocalFallback: true,
+		LocalPool:     pool,
+	}
+	if verbose {
+		cfg.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	start := time.Now()
+	reports, stats, err := dispatch.Run(cfg, fleet)
+	if err != nil {
+		return err
+	}
+	suite, err := suiteJSON(reports)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(reportPath, suite, 0o644); err != nil {
+		return err
+	}
+	if err := compareGolden(suite, golden); err != nil {
+		return err
+	}
+	fmt.Printf("dispatched %d matrices (%d units, %d cells) across %d workers (%d retries, %d lost, %.2fs)\n",
+		len(reports), stats.Units, stats.Cells, n, stats.Retries, stats.WorkersLost, time.Since(start).Seconds())
+	return nil
 }
 
 // mergeSuites reads shard suite files (each a JSON array of shard

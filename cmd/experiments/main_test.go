@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"fdgrid/internal/sweep"
@@ -102,8 +103,40 @@ func TestParseShard(t *testing.T) {
 	if s, err := parseShard("2/4"); err != nil || s.Index != 2 || s.Count != 4 {
 		t.Fatalf("2/4: %v %v", s, err)
 	}
-	for _, bad := range []string{"4/4", "-1/4", "1", "a/b", "1/0"} {
-		if _, err := parseShard(bad); err == nil {
+	// Malformed specs must error with usage guidance, never run a
+	// silently wrong shard. The trailing-junk rows pin the strictness
+	// Sscanf-style prefix parsing would lose ("0/4x" ran shard 0/4).
+	for _, bad := range []string{
+		"4/4", "-1/4", "1", "a/b", "1/0",
+		"0/4x", "x0/4", "1/2/3", "0 /4", "0/ 4", "/4", "0/", "/",
+	} {
+		_, err := parseShard(bad)
+		if err == nil {
+			t.Errorf("spec %q accepted", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), bad) {
+			t.Errorf("spec %q: error does not echo the spec: %v", bad, err)
+		}
+	}
+}
+
+func TestParseReplaySpec(t *testing.T) {
+	name, idx, err := parseReplaySpec("kset-grid:12")
+	if err != nil || name != "kset-grid" || idx != 12 {
+		t.Fatalf("kset-grid:12 -> %q %d %v", name, idx, err)
+	}
+	// Matrix names can contain dashes and dots but no colon, so the
+	// LAST colon splits; everything left of it is the name.
+	name, idx, err = parseReplaySpec("odd:name:3")
+	if err != nil || name != "odd:name" || idx != 3 {
+		t.Fatalf("odd:name:3 -> %q %d %v", name, idx, err)
+	}
+	for _, bad := range []string{
+		"", "kset-grid", ":5", "kset-grid:", "kset-grid:abc",
+		"kset-grid:1.5", "kset-grid:-1", "kset-grid:5x",
+	} {
+		if _, _, err := parseReplaySpec(bad); err == nil {
 			t.Errorf("spec %q accepted", bad)
 		}
 	}

@@ -224,10 +224,16 @@ func TestScopes(t *testing.T) {
 		{"wallclock", "internal/sim", true, true},
 		{"wallclock", "cmd/experiments", true, false},
 		{"wallclock", "internal/benchrec", true, false},
+		{"wallclock", "internal/dispatch", true, false},
+		{"wallclock", "cmd/sweepd", true, false},
 		{"globalrand", "internal/sweep", true, true},
+		{"globalrand", "internal/dispatch", true, false},
 		{"runtoken", "internal/fd", true, true},
 		{"runtoken", "cmd/detlint", true, false},
+		{"runtoken", "internal/dispatch", true, false},
 		{"maporder", "cmd/experiments", true, true},
+		{"maporder", "internal/dispatch", true, true},
+		{"maporder", "cmd/sweepd", true, true},
 		{"maporder", "examples/quickstart", true, true},
 		{"maporder", "", true, true}, // the module root package
 		{"tracecanon", "internal/trace", true, true},
@@ -240,6 +246,45 @@ func TestScopes(t *testing.T) {
 		}
 		if got := a.applies(c.rel, c.inModule); got != c.want {
 			t.Errorf("%s.applies(%q) = %v, want %v", c.rule, c.rel, got, c.want)
+		}
+	}
+}
+
+// TestInternalPackagesClassified enforces the scope partition: every
+// package under internal/ is either deterministic (run-token-owned,
+// full rule set) or host-side (wall clock, goroutines and I/O legal) —
+// listed in exactly one of the two registry maps. A new internal
+// package cannot land without someone deciding which side of the
+// determinism boundary it lives on, and stale entries for deleted
+// packages fail too.
+func TestInternalPackagesClassified(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join(repoRoot(t), "internal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := make(map[string]bool)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		rel := "internal/" + e.Name()
+		onDisk[rel] = true
+		det, host := deterministicPkgs[rel], hostSidePkgs[rel]
+		switch {
+		case det && host:
+			t.Errorf("%s is in both deterministicPkgs and hostSidePkgs; pick one", rel)
+		case !det && !host:
+			t.Errorf("%s is unclassified: add it to deterministicPkgs (run-token-owned) or hostSidePkgs (wall clock/goroutines/I-O legal) in registry.go", rel)
+		}
+	}
+	for rel := range deterministicPkgs {
+		if !onDisk[rel] {
+			t.Errorf("deterministicPkgs lists %s, which does not exist", rel)
+		}
+	}
+	for rel := range hostSidePkgs {
+		if !onDisk[rel] {
+			t.Errorf("hostSidePkgs lists %s, which does not exist", rel)
 		}
 	}
 }

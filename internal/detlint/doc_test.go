@@ -69,12 +69,20 @@ func TestArchitectureDocMatchesRegistry(t *testing.T) {
 		t.Errorf("enforced-invariants section does not document the %q comment syntax", allowPrefix)
 	}
 
-	// The deterministic-package list in prose must cover the scope map:
-	// each package's last path element has to be mentioned.
+	// The package lists in prose must cover both scope maps: each
+	// package's last path element has to be mentioned, deterministic
+	// and host-side alike, so the doc names every classification the
+	// registry enforces.
 	for pkg := range deterministicPkgs {
 		base := pkg[strings.LastIndex(pkg, "/")+1:]
 		if !strings.Contains(section, "`"+base+"`") && !strings.Contains(section, "`internal/"+base+"`") {
 			t.Errorf("deterministic package %q is not named in the enforced-invariants section", pkg)
+		}
+	}
+	for pkg := range hostSidePkgs {
+		base := pkg[strings.LastIndex(pkg, "/")+1:]
+		if !strings.Contains(section, "`"+base+"`") && !strings.Contains(section, "`internal/"+base+"`") {
+			t.Errorf("host-side package %q is not named in the enforced-invariants section", pkg)
 		}
 	}
 }

@@ -1,0 +1,59 @@
+package dispatch
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestStatsKeysDocumented pins docs/REPORT_SCHEMA.md's "Dispatch stats
+// keys" table to the Stats struct: every JSON key the struct emits
+// must have a table row, and every row must name a real key — the
+// same contract TestReportSchemaDocumented enforces for the report
+// artifact. The section must also state the invariant that canonical
+// reports gain no dispatch keys.
+func TestStatsKeysDocumented(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "REPORT_SCHEMA.md"))
+	if err != nil {
+		t.Fatalf("read REPORT_SCHEMA.md: %v", err)
+	}
+	_, section, ok := strings.Cut(string(raw), "## Dispatch stats keys")
+	if !ok {
+		t.Fatal(`REPORT_SCHEMA.md has no "## Dispatch stats keys" section`)
+	}
+	if next := strings.Index(section, "\n## "); next >= 0 {
+		section = section[:next]
+	}
+	if !strings.Contains(section, "no keys") {
+		t.Error("the dispatch section must state that canonical reports gain no dispatch keys")
+	}
+
+	keyRe := regexp.MustCompile("(?m)^\\| `([a-z_]+)` \\|")
+	documented := make(map[string]bool)
+	for _, m := range keyRe.FindAllStringSubmatch(section, -1) {
+		documented[m[1]] = true
+	}
+
+	structKeys := make(map[string]bool)
+	st := reflect.TypeOf(Stats{})
+	for i := 0; i < st.NumField(); i++ {
+		tag := st.Field(i).Tag.Get("json")
+		name, _, _ := strings.Cut(tag, ",")
+		if name == "" || name == "-" {
+			t.Errorf("Stats.%s has no JSON key; every stats field is part of the artifact", st.Field(i).Name)
+			continue
+		}
+		structKeys[name] = true
+		if !documented[name] {
+			t.Errorf("Stats key %q is not documented in REPORT_SCHEMA.md's dispatch table", name)
+		}
+	}
+	for key := range documented {
+		if !structKeys[key] {
+			t.Errorf("REPORT_SCHEMA.md documents dispatch stats key %q, which Stats does not emit", key)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package dispatch
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Fault kinds the injection harness can arm on a worker. Faults fire
+// deterministically, keyed by the count of cell results the worker has
+// sent — never by wall time — so a fault schedule reproduces exactly.
+const (
+	// FaultCrash: after After cells, close the connection and exit —
+	// a hard worker death mid-unit.
+	FaultCrash = "crash"
+	// FaultHang: after After cells, go silent — stop sending cells AND
+	// heartbeats, but keep the connection open and keep reading. The
+	// shape a wedged process presents: alive at the TCP layer, dead
+	// above it. Only the suspector can recover from this one.
+	FaultHang = "hang"
+	// FaultCorrupt: after After cells, send one frame with a wrong
+	// checksum. The dispatcher must detect it and fail the worker
+	// rather than misparse.
+	FaultCorrupt = "corrupt"
+	// FaultDup: after After cells, send the next cell result twice.
+	// The dispatcher must discard the duplicate by unit/cell identity.
+	FaultDup = "dup"
+	// FaultSlow: sleep Delay before every cell result — a straggler.
+	// The only fault that involves real time; the dispatcher's
+	// speculative re-dispatch races it.
+	FaultSlow = "slow"
+)
+
+// Fault is one injected misbehaviour, armed on a worker via
+// WorkerOptions.Fault. The zero value is "no fault".
+type Fault struct {
+	// Kind is one of the Fault* constants; empty means no fault.
+	Kind string
+	// After is the number of cell results to send normally before the
+	// fault fires (crash/hang/corrupt/dup).
+	After int
+	// Delay is the per-cell delay for FaultSlow.
+	Delay time.Duration
+}
+
+// ParseFault parses one fault spec:
+//
+//	crash@K    crash after K cells
+//	hang@K     hang after K cells
+//	corrupt@K  corrupt frame after K cells
+//	dup@K      duplicate a cell result after K cells
+//	slow=DUR   sleep DUR before every cell (e.g. slow=50ms)
+func ParseFault(spec string) (Fault, error) {
+	if kind, dur, ok := strings.Cut(spec, "="); ok {
+		if kind != FaultSlow {
+			return Fault{}, fmt.Errorf("dispatch: fault %q: only %s takes =DURATION", spec, FaultSlow)
+		}
+		d, err := time.ParseDuration(dur)
+		if err != nil || d <= 0 {
+			return Fault{}, fmt.Errorf("dispatch: fault %q: want slow=DURATION with a positive duration", spec)
+		}
+		return Fault{Kind: FaultSlow, Delay: d}, nil
+	}
+	kind, at, ok := strings.Cut(spec, "@")
+	if !ok {
+		return Fault{}, fmt.Errorf("dispatch: fault %q: want KIND@K or slow=DURATION", spec)
+	}
+	switch kind {
+	case FaultCrash, FaultHang, FaultCorrupt, FaultDup:
+	default:
+		return Fault{}, fmt.Errorf("dispatch: fault %q: unknown kind %q (want crash, hang, corrupt, dup or slow)", spec, kind)
+	}
+	k, err := strconv.Atoi(at)
+	if err != nil || k < 0 {
+		return Fault{}, fmt.Errorf("dispatch: fault %q: want a non-negative cell count after @", spec)
+	}
+	return Fault{Kind: kind, After: k}, nil
+}
+
+// ParseFaults parses a per-worker fault schedule: semicolon-separated
+// WORKER:SPEC entries, where WORKER is a 0-based worker index, e.g.
+//
+//	"0:crash@5;2:slow=50ms"
+//
+// arms a crash-after-5-cells on worker 0 and a straggler delay on
+// worker 2. An empty string is an empty schedule.
+func ParseFaults(s string) (map[int]Fault, error) {
+	out := make(map[int]Fault)
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, entry := range strings.Split(s, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		idx, spec, ok := strings.Cut(entry, ":")
+		if !ok {
+			return nil, fmt.Errorf("dispatch: fault entry %q: want WORKER:SPEC", entry)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(idx))
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("dispatch: fault entry %q: want a non-negative worker index before the colon", entry)
+		}
+		if _, dup := out[w]; dup {
+			return nil, fmt.Errorf("dispatch: fault entry %q: worker %d already has a fault", entry, w)
+		}
+		f, err := ParseFault(strings.TrimSpace(spec))
+		if err != nil {
+			return nil, err
+		}
+		out[w] = f
+	}
+	return out, nil
+}
+
+// String renders the fault in the spec grammar ParseFault accepts.
+func (f Fault) String() string {
+	switch f.Kind {
+	case "":
+		return "none"
+	case FaultSlow:
+		return fmt.Sprintf("slow=%s", f.Delay)
+	default:
+		return fmt.Sprintf("%s@%d", f.Kind, f.After)
+	}
+}

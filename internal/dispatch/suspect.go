@@ -1,0 +1,111 @@
+package dispatch
+
+import "time"
+
+// Suspector is the dispatcher's eventually-accurate failure detector
+// over its worker fleet — the ◇S shape from the failure-detector
+// literature, implemented the way practical systems do: a per-worker
+// heartbeat deadline whose timeout backs off exponentially every time a
+// suspicion proves wrong. Completeness: a worker that really stops
+// heartbeating is eventually (within its current timeout) suspected
+// forever. Eventual accuracy: a live-but-slow worker that keeps being
+// wrongly suspected has its timeout doubled on each mistake until the
+// timeout exceeds its real heartbeat interval, after which it is never
+// suspected again — exactly the eventually-accurate property the
+// paper's oracle classes package up, recovered here by adaptation
+// rather than assumption.
+//
+// The suspector only forms opinions; the dispatcher decides what they
+// mean (speculate, stop assigning, eventually kill). All times are
+// passed in by the caller, so unit tests drive it with synthetic clocks
+// and stay deterministic.
+type Suspector struct {
+	base, max time.Duration
+	workers   map[string]*suspectState
+}
+
+type suspectState struct {
+	timeout   time.Duration
+	last      time.Time // last heartbeat (or registration)
+	suspected bool
+}
+
+// NewSuspector builds a suspector with the given initial per-worker
+// timeout and the cap the backoff may grow it to. A zero or negative
+// max means "base, never grown".
+func NewSuspector(base, max time.Duration) *Suspector {
+	if base <= 0 {
+		base = time.Second
+	}
+	if max < base {
+		max = base
+	}
+	return &Suspector{base: base, max: max, workers: make(map[string]*suspectState)}
+}
+
+// Register starts tracking a worker as of now, trusted, at the base
+// timeout. Registering an existing worker resets it.
+func (s *Suspector) Register(w string, now time.Time) {
+	s.workers[w] = &suspectState{timeout: s.base, last: now}
+}
+
+// Forget stops tracking a worker (it died or was dismissed).
+func (s *Suspector) Forget(w string) { delete(s.workers, w) }
+
+// Heartbeat records life from a worker. If the worker was under
+// suspicion, the suspicion was wrong: the worker is trusted again and
+// its timeout doubles (capped) so the same mistake needs twice the
+// silence next time. Returns true when this heartbeat refuted a
+// suspicion — the dispatcher uses that edge to restore the worker to
+// the schedulable pool.
+func (s *Suspector) Heartbeat(w string, now time.Time) bool {
+	st, ok := s.workers[w]
+	if !ok {
+		return false
+	}
+	st.last = now
+	if !st.suspected {
+		return false
+	}
+	st.suspected = false
+	st.timeout *= 2
+	if st.timeout > s.max {
+		st.timeout = s.max
+	}
+	return true
+}
+
+// Suspected reports whether worker w is currently suspected as of now,
+// flipping it into the suspected state when its heartbeat deadline has
+// passed. Unknown workers are not suspected.
+func (s *Suspector) Suspected(w string, now time.Time) bool {
+	st, ok := s.workers[w]
+	if !ok {
+		return false
+	}
+	if !st.suspected && now.Sub(st.last) > st.timeout {
+		st.suspected = true
+	}
+	return st.suspected
+}
+
+// SilentFor reports how long worker w has gone without a heartbeat as
+// of now (zero for unknown workers). The dispatcher compares this
+// against SuspectMax to decide when suspicion hardens into dismissal.
+func (s *Suspector) SilentFor(w string, now time.Time) time.Duration {
+	st, ok := s.workers[w]
+	if !ok {
+		return 0
+	}
+	return now.Sub(st.last)
+}
+
+// Timeout exposes worker w's current timeout (zero for unknown
+// workers) — observability for logs and tests.
+func (s *Suspector) Timeout(w string) time.Duration {
+	st, ok := s.workers[w]
+	if !ok {
+		return 0
+	}
+	return st.timeout
+}

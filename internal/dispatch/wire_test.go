@@ -1,0 +1,214 @@
+package dispatch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"fdgrid/internal/sweep"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	msgs := []*Msg{
+		{Kind: KindHello, Worker: "w0"},
+		{Kind: KindHeartbeat, Worker: "w0"},
+		{Kind: KindUnit, Unit: &Unit{
+			ID:         "m#0/2",
+			Matrix:     sweep.Matrix{Name: "m", Protocol: "kset-omega", Seeds: []int64{0}, Sizes: []sweep.Size{{N: 5, T: 2}}},
+			Shard:      sweep.Shard{Index: 0, Count: 2},
+			TotalCells: 4,
+		}},
+		{Kind: KindCell, UnitID: "m#0/2", Cell: &sweep.CellResult{Index: 2, Verdict: sweep.Pass, Steps: 123}},
+		{Kind: KindDone, UnitID: "m#0/2"},
+		{Kind: KindError, UnitID: "m#0/2", Detail: "no runner"},
+		{Kind: KindShutdown},
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != want.Kind || got.UnitID != want.UnitID || got.Worker != want.Worker {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+		if want.Cell != nil && (got.Cell == nil || got.Cell.Index != want.Cell.Index || got.Cell.Steps != want.Cell.Steps) {
+			t.Fatalf("cell did not survive the wire: %+v", got.Cell)
+		}
+		if want.Unit != nil && (got.Unit == nil || got.Unit.ID != want.Unit.ID || got.Unit.Matrix.Name != want.Unit.Matrix.Name) {
+			t.Fatalf("unit did not survive the wire: %+v", got.Unit)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("empty stream: err=%v, want io.EOF", err)
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Msg{Kind: KindHeartbeat}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0xFF // flip a payload byte
+	var ce *ErrCorruptFrame
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.As(err, &ce) {
+		t.Fatalf("corrupted frame read as %v, want ErrCorruptFrame", err)
+	}
+}
+
+func TestFrameTruncationAndOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Msg{Kind: KindHeartbeat}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated payload read cleanly")
+	}
+	if _, err := ReadFrame(bytes.NewReader(trunc[:5])); err == nil {
+		t.Fatal("truncated header read cleanly")
+	}
+
+	var huge [frameHeader]byte
+	binary.BigEndian.PutUint32(huge[0:4], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(huge[:])); err == nil || !strings.Contains(err.Error(), "exceeds cap") {
+		t.Fatalf("oversize frame: err=%v", err)
+	}
+}
+
+func TestParseFault(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Fault
+		bad  bool
+	}{
+		{spec: "crash@5", want: Fault{Kind: FaultCrash, After: 5}},
+		{spec: "hang@0", want: Fault{Kind: FaultHang}},
+		{spec: "corrupt@2", want: Fault{Kind: FaultCorrupt, After: 2}},
+		{spec: "dup@1", want: Fault{Kind: FaultDup, After: 1}},
+		{spec: "slow=50ms", want: Fault{Kind: FaultSlow, Delay: 50 * time.Millisecond}},
+		{spec: "crash", bad: true},
+		{spec: "crash@", bad: true},
+		{spec: "crash@-1", bad: true},
+		{spec: "crash@2x", bad: true},
+		{spec: "explode@3", bad: true},
+		{spec: "slow=0s", bad: true},
+		{spec: "slow=banana", bad: true},
+		{spec: "crash=5s", bad: true},
+		{spec: "", bad: true},
+	}
+	for _, c := range cases {
+		got, err := ParseFault(c.spec)
+		if c.bad {
+			if err == nil {
+				t.Errorf("ParseFault(%q) accepted, want error", c.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseFault(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseFault(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	m, err := ParseFaults("0:crash@5; 2:slow=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m[0].Kind != FaultCrash || m[0].After != 5 || m[2].Kind != FaultSlow {
+		t.Fatalf("schedule parsed wrong: %+v", m)
+	}
+	if m2, err := ParseFaults("  "); err != nil || len(m2) != 0 {
+		t.Fatalf("blank schedule: %v %v", m2, err)
+	}
+	for _, bad := range []string{"crash@5", "x:crash@5", "-1:crash@5", "0:crash@5;0:hang@2"} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Errorf("ParseFaults(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// TestSuspectorBackoff drives the ◇S shape with a synthetic clock: a
+// silent worker is suspected (completeness); a heartbeat refutes the
+// suspicion and doubles the timeout, so a steadily-slow worker is
+// eventually never suspected again (eventual accuracy).
+func TestSuspectorBackoff(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	s := NewSuspector(100*time.Millisecond, time.Second)
+	s.Register("w", t0)
+
+	if s.Suspected("w", t0.Add(50*time.Millisecond)) {
+		t.Fatal("suspected within the base timeout")
+	}
+	if !s.Suspected("w", t0.Add(150*time.Millisecond)) {
+		t.Fatal("not suspected after the base timeout (completeness)")
+	}
+	// The worker was merely slow: its heartbeat lands at +200ms.
+	if !s.Heartbeat("w", t0.Add(200*time.Millisecond)) {
+		t.Fatal("heartbeat did not report a refuted suspicion")
+	}
+	if got := s.Timeout("w"); got != 200*time.Millisecond {
+		t.Fatalf("timeout after one wrong suspicion = %v, want 200ms", got)
+	}
+	// The same 150ms of silence no longer triggers suspicion.
+	if s.Suspected("w", t0.Add(350*time.Millisecond)) {
+		t.Fatal("suspected again at the old timeout after backoff")
+	}
+	// Push the timeout to the cap: it must not grow past max.
+	now := t0.Add(400 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		now = now.Add(s.Timeout("w") + time.Millisecond)
+		if !s.Suspected("w", now) {
+			t.Fatalf("iteration %d: silence past the timeout not suspected", i)
+		}
+		s.Heartbeat("w", now)
+	}
+	if got := s.Timeout("w"); got != time.Second {
+		t.Fatalf("timeout grew past the cap: %v", got)
+	}
+
+	// Unknown and forgotten workers are never suspected.
+	if s.Suspected("ghost", now) {
+		t.Fatal("unknown worker suspected")
+	}
+	s.Forget("w")
+	if s.Suspected("w", now.Add(time.Hour)) {
+		t.Fatal("forgotten worker suspected")
+	}
+	if s.SilentFor("w", now) != 0 || s.Timeout("w") != 0 {
+		t.Fatal("forgotten worker retains state")
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	for spec, want := range map[string]string{
+		"crash@5":   "crash@5",
+		"slow=50ms": "slow=50ms",
+	} {
+		f, err := ParseFault(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.String() != want {
+			t.Errorf("String() = %q, want %q", f.String(), want)
+		}
+	}
+	if (Fault{}).String() != "none" {
+		t.Errorf("zero fault String() = %q", Fault{}.String())
+	}
+}

@@ -201,7 +201,7 @@ func MergeReports(parts []*Report) (*Report, error) {
 		}
 		for _, c := range p.Cells {
 			if seen[c.Index] {
-				return nil, fmt.Errorf("sweep: merge saw cell %d twice", c.Index)
+				return nil, fmt.Errorf("sweep: merge of %q: cell %d appears in more than one part (overlapping shards — each cell must be covered exactly once)", merged.Matrix.Name, c.Index)
 			}
 			seen[c.Index] = true
 			merged.Cells = append(merged.Cells, c)
@@ -212,12 +212,12 @@ func MergeReports(parts []*Report) (*Report, error) {
 		total = len(merged.Cells) // no shard metadata: trust the parts
 	}
 	if len(merged.Cells) != total {
-		return nil, fmt.Errorf("sweep: merge covers %d of %d cells", len(merged.Cells), total)
+		return nil, fmt.Errorf("sweep: merge of %q covers %d of %d cells (missing shard or truncated part)", merged.Matrix.Name, len(merged.Cells), total)
 	}
 	sort.Slice(merged.Cells, func(i, j int) bool { return merged.Cells[i].Index < merged.Cells[j].Index })
 	for i, c := range merged.Cells {
 		if c.Index != i {
-			return nil, fmt.Errorf("sweep: merge is missing cell %d", i)
+			return nil, fmt.Errorf("sweep: merge of %q has a gap in coverage: cell %d is missing (parts do not form a complete shard family)", merged.Matrix.Name, i)
 		}
 		switch c.Verdict {
 		case Pass:

@@ -1,0 +1,265 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOwnedIndices pins the shard→cell-index mapping AssembleShardReport
+// validates against.
+func TestOwnedIndices(t *testing.T) {
+	cases := []struct {
+		shard Shard
+		total int
+		want  []int
+	}{
+		{Shard{}, 3, []int{0, 1, 2}},
+		{Shard{Index: 0, Count: 2}, 5, []int{0, 2, 4}},
+		{Shard{Index: 1, Count: 2}, 5, []int{1, 3}},
+		{Shard{Index: 2, Count: 4}, 2, nil},
+		{Shard{Index: 1, Count: 3}, 0, nil},
+	}
+	for _, c := range cases {
+		got := c.shard.OwnedIndices(c.total)
+		if len(got) != len(c.want) {
+			t.Errorf("OwnedIndices(%+v, %d) = %v, want %v", c.shard, c.total, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("OwnedIndices(%+v, %d) = %v, want %v", c.shard, c.total, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// TestAssembleShardReport is the dispatcher's byte-identity foundation:
+// reassembling a shard's streamed cells — in scrambled arrival order —
+// must reproduce the canonical bytes of the locally sharded Run.
+func TestAssembleShardReport(t *testing.T) {
+	m := smokeMatrix()
+	cells, err := m.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(cells)
+	for _, s := range []Shard{{}, {Index: 0, Count: 2}, {Index: 1, Count: 2}, {Index: 2, Count: 3}} {
+		ran, err := Run(m, Options{Shard: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ran.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Scramble arrival order: reverse.
+		scrambled := make([]CellResult, 0, len(ran.Cells))
+		for i := len(ran.Cells) - 1; i >= 0; i-- {
+			scrambled = append(scrambled, ran.Cells[i])
+		}
+		asm, err := AssembleShardReport(m, s, total, scrambled)
+		if err != nil {
+			t.Fatalf("assemble shard %+v: %v", s, err)
+		}
+		got, err := asm.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("assembled shard %+v differs from locally run report:\n--- assembled ---\n%s\n--- run ---\n%s", s, got, want)
+		}
+	}
+}
+
+// TestAssembleShardReportRejects: wrong counts, duplicate indices and
+// stray indices are errors, not silently wrong reports.
+func TestAssembleShardReportRejects(t *testing.T) {
+	m := smokeMatrix()
+	r, err := Run(m, Options{Shard: Shard{Index: 0, Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, _ := m.Cells()
+	total := len(cells)
+	s := Shard{Index: 0, Count: 2}
+
+	if _, err := AssembleShardReport(m, s, total, r.Cells[:len(r.Cells)-1]); err == nil {
+		t.Error("short cell set accepted")
+	}
+	dup := append(append([]CellResult(nil), r.Cells...), r.Cells[0])
+	if _, err := AssembleShardReport(m, s, total, dup); err == nil {
+		t.Error("duplicate cell accepted")
+	}
+	stray := append([]CellResult(nil), r.Cells...)
+	stray[0].Index = 1 // index owned by the other shard
+	if _, err := AssembleShardReport(m, s, total, stray); err == nil {
+		t.Error("stray cell index accepted")
+	}
+	if _, err := AssembleShardReport(m, Shard{Index: 5, Count: 2}, total, r.Cells); err == nil {
+		t.Error("invalid shard accepted")
+	}
+}
+
+// TestMergeRejectsOverlap: two parts covering the same cell index fail
+// with an error that names the matrix and calls out the overlap.
+func TestMergeRejectsOverlap(t *testing.T) {
+	m := smokeMatrix()
+	a, err := Run(m, Options{Shard: Shard{Index: 0, Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(m, Options{Shard: Shard{Index: 1, Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overlap: part b carries a cell part a already owns.
+	b.Cells = append(b.Cells, a.Cells[0])
+	_, err = MergeReports([]*Report{a, b})
+	if err == nil {
+		t.Fatal("overlapping shards merged silently")
+	}
+	if !strings.Contains(err.Error(), "overlapping") || !strings.Contains(err.Error(), m.Name) {
+		t.Errorf("overlap error not descriptive: %v", err)
+	}
+}
+
+// TestMergeRejectsGap: parts that skip a cell index fail with an error
+// that names the missing cell, whether or not shard metadata says how
+// many cells to expect.
+func TestMergeRejectsGap(t *testing.T) {
+	m := smokeMatrix()
+	a, err := Run(m, Options{Shard: Shard{Index: 0, Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(m, Options{Shard: Shard{Index: 1, Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop one of b's cells: total count (from shard metadata) no longer
+	// matches.
+	dropped := *b
+	dropped.Cells = b.Cells[:len(b.Cells)-1]
+	_, err = MergeReports([]*Report{a, &dropped})
+	if err == nil {
+		t.Fatal("merge with a missing cell accepted")
+	}
+	if !strings.Contains(err.Error(), m.Name) {
+		t.Errorf("missing-cell error does not name the matrix: %v", err)
+	}
+
+	// Without shard metadata the count is trusted, so the gap must be
+	// caught by the index walk instead: drop an interior cell (index 1).
+	a2, b2 := *a, *b
+	a2.Shard, b2.Shard = nil, nil
+	b2.Cells = b.Cells[1:]
+	_, err = MergeReports([]*Report{&a2, &b2})
+	if err == nil {
+		t.Fatal("gap in coverage merged silently")
+	}
+	if !strings.Contains(err.Error(), "gap") {
+		t.Errorf("gap error not descriptive: %v", err)
+	}
+}
+
+// TestOnResultStreamsEveryCell: the OnResult hook sees each completed
+// cell exactly once, and the report is unaffected by the hook.
+func TestOnResultStreamsEveryCell(t *testing.T) {
+	m := smokeMatrix()
+	var mu sync.Mutex
+	seen := map[int]int{}
+	r, err := Run(m, Options{Workers: 3, OnResult: func(c CellResult) {
+		mu.Lock()
+		seen[c.Index]++
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(r.Cells) {
+		t.Fatalf("OnResult saw %d cells, report has %d", len(seen), len(r.Cells))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Errorf("cell %d streamed %d times", i, n)
+		}
+	}
+	plain, err := Run(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := plain.CanonicalJSON()
+	got, _ := r.CanonicalJSON()
+	if !bytes.Equal(got, want) {
+		t.Fatal("OnResult changed the canonical report")
+	}
+}
+
+// TestRunCancellation: a context cancelled mid-run stops the pool,
+// returns the completed cells as a consistent partial report alongside
+// the context error, and leaks no worker goroutines.
+func TestRunCancellation(t *testing.T) {
+	m := Matrix{
+		Name: "cancel", Protocol: "kset-omega",
+		Seeds: []int64{0, 1, 2, 3, 4, 5, 6, 7}, Sizes: []Size{{N: 5, T: 2}},
+		Combos: []Combo{{Z: 2}},
+		GST:    300, MaxSteps: 500_000,
+	}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var completedAtCancel atomic.Int64
+	r, err := Run(m, Options{Workers: 2, Context: ctx, OnResult: func(CellResult) {
+		if completedAtCancel.Add(1) == 1 {
+			cancel() // cancel after the first cell lands
+		}
+	}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Run returned err=%v, want context.Canceled", err)
+	}
+	if r == nil {
+		t.Fatal("cancelled Run returned no partial report")
+	}
+	if len(r.Cells) == 0 || len(r.Cells) >= 8 {
+		t.Fatalf("partial report has %d of 8 cells; want a strict, non-empty subset", len(r.Cells))
+	}
+	if got := r.Passed + r.Failed + r.Errored + r.ConfigErrors; got != len(r.Cells) {
+		t.Fatalf("partial tallies cover %d cells, report has %d", got, len(r.Cells))
+	}
+	for i := 1; i < len(r.Cells); i++ {
+		if r.Cells[i-1].Index >= r.Cells[i].Index {
+			t.Fatal("partial cells not in ascending index order")
+		}
+	}
+
+	// Worker-count assertion: Run joins its pool before returning, so
+	// the goroutine count must settle back to the baseline (allow the
+	// runtime a moment to retire exiting goroutines).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked by cancelled Run: before=%d after=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A cancelled context refuses new work outright but still returns
+	// the (empty) report shape.
+	already, cancelled := context.WithCancel(context.Background())
+	cancelled()
+	r2, err := Run(m, Options{Context: already})
+	if !errors.Is(err, context.Canceled) || r2 == nil || len(r2.Cells) != 0 {
+		t.Fatalf("pre-cancelled Run: report=%+v err=%v", r2, err)
+	}
+}
